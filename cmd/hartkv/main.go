@@ -1,0 +1,182 @@
+// Command hartkv is an interactive key-value shell over a HART index.
+//
+// The simulated persistent memory arena is saved to and restored from a
+// file, so data survives process restarts exactly the way a DAX-mapped PM
+// file would: only bytes that were persisted (flushed) before "save" are
+// in the image, and opening the image runs HART's recovery (Algorithm 7).
+//
+// Usage:
+//
+//	hartkv -db /tmp/store.pm
+//
+//	> put greeting hello
+//	> get greeting
+//	hello
+//	> scan a z
+//	> stats
+//	> check
+//	> save
+//	> quit
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	hart "github.com/casl-sdsu/hart"
+)
+
+func main() {
+	var (
+		dbPath = flag.String("db", "", "PM image file (created if missing; empty = in-memory only)")
+		size   = flag.Int64("size", 64<<20, "arena size for a fresh store")
+	)
+	flag.Parse()
+
+	opts := hart.Options{CrashSimulation: true, ArenaSize: *size}
+	var db *hart.DB
+	var err error
+	if *dbPath != "" {
+		if img, rerr := os.ReadFile(*dbPath); rerr == nil {
+			db, err = hart.Restore(img, opts)
+			if err == nil {
+				fmt.Printf("recovered %d records from %s\n", db.Len(), *dbPath)
+			}
+		}
+	}
+	if db == nil {
+		db, err = hart.New(opts)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hartkv:", err)
+		os.Exit(1)
+	}
+
+	save := func() error {
+		if *dbPath == "" {
+			return fmt.Errorf("no -db file configured")
+		}
+		img, err := db.CrashImage()
+		if err != nil {
+			return err
+		}
+		return os.WriteFile(*dbPath, img, 0o644)
+	}
+
+	sc := bufio.NewScanner(os.Stdin)
+	fmt.Print("> ")
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) == 0 {
+			fmt.Print("> ")
+			continue
+		}
+		switch cmd := fields[0]; cmd {
+		case "put":
+			if len(fields) != 3 {
+				fmt.Println("usage: put <key> <value>   (key <= 24B, value <= 16B)")
+				break
+			}
+			if err := db.Put([]byte(fields[1]), []byte(fields[2])); err != nil {
+				fmt.Println("error:", err)
+			}
+		case "get":
+			if len(fields) != 2 {
+				fmt.Println("usage: get <key>")
+				break
+			}
+			if v, ok := db.Get([]byte(fields[1])); ok {
+				fmt.Println(string(v))
+			} else {
+				fmt.Println("(not found)")
+			}
+		case "del", "delete":
+			if len(fields) != 2 {
+				fmt.Println("usage: del <key>")
+				break
+			}
+			if err := db.Delete([]byte(fields[1])); err != nil {
+				fmt.Println("error:", err)
+			}
+		case "scan":
+			var lo, hi []byte
+			if len(fields) > 1 {
+				lo = []byte(fields[1])
+			}
+			if len(fields) > 2 {
+				hi = []byte(fields[2])
+			}
+			n := 0
+			db.Scan(lo, hi, func(k, v []byte) bool {
+				fmt.Printf("%s = %s\n", k, v)
+				n++
+				return n < 1000
+			})
+			fmt.Printf("(%d records)\n", n)
+		case "len":
+			fmt.Println(db.Len())
+		case "stats":
+			st := db.Stats()
+			fmt.Printf("records:   %d\n", st.Records)
+			fmt.Printf("ARTs:      %d\n", st.ARTs)
+			fmt.Printf("PM used:   %.2f MB (%d persists so far)\n",
+				float64(st.Size.PMBytes)/(1<<20), st.Arena.Persists)
+			fmt.Printf("DRAM used: %.2f MB (height %d; %d/%d/%d/%d N4/N16/N48/N256)\n",
+				float64(st.Size.DRAMBytes)/(1<<20), st.ART.Height,
+				st.ART.Node4s, st.ART.Node16s, st.ART.Node48s, st.ART.Node256s)
+			for _, cs := range st.Alloc {
+				fmt.Printf("class %-8s: %d used, %d chunks (+%d free), %.2f MB PM\n",
+					cs.Name, cs.Used, cs.Chunks, cs.FreeChunks, float64(cs.PMBytes)/(1<<20))
+			}
+		case "check":
+			if err := db.Check(); err != nil {
+				fmt.Println("FSCK FAILED:", err)
+			} else {
+				fmt.Println("ok")
+			}
+		case "save":
+			if err := save(); err != nil {
+				fmt.Println("error:", err)
+			} else {
+				fmt.Println("saved to", *dbPath)
+			}
+		case "fill":
+			// fill <n> [prefix]: bulk-load synthetic records for demos.
+			if len(fields) < 2 {
+				fmt.Println("usage: fill <n> [prefix]")
+				break
+			}
+			n := 0
+			fmt.Sscanf(fields[1], "%d", &n)
+			prefix := "k"
+			if len(fields) > 2 {
+				prefix = fields[2]
+			}
+			filled := 0
+			for i := 0; i < n; i++ {
+				k := fmt.Sprintf("%s%08d", prefix, i)
+				if err := db.Put([]byte(k), []byte(fmt.Sprintf("%08d", i))); err != nil {
+					fmt.Println("error:", err)
+					break
+				}
+				filled++
+			}
+			fmt.Printf("inserted %d records\n", filled)
+		case "quit", "exit":
+			if *dbPath != "" {
+				if err := save(); err != nil {
+					fmt.Println("save on exit failed:", err)
+				}
+			}
+			return
+		case "help":
+			fmt.Println("commands: put get del scan len stats check save quit")
+		default:
+			fmt.Printf("unknown command %q (try help)\n", cmd)
+		}
+		fmt.Print("> ")
+	}
+}

@@ -1,0 +1,96 @@
+package hart_test
+
+import (
+	"fmt"
+
+	hart "github.com/casl-sdsu/hart"
+)
+
+// The basic lifecycle: create, write, read, scan, delete.
+func Example() {
+	db, err := hart.New(hart.Options{})
+	if err != nil {
+		panic(err)
+	}
+	defer db.Close()
+
+	db.Put([]byte("apple"), []byte("red"))
+	db.Put([]byte("banana"), []byte("yellow"))
+	db.Put([]byte("cherry"), []byte("dark-red"))
+
+	if v, ok := db.Get([]byte("banana")); ok {
+		fmt.Printf("banana: %s\n", v)
+	}
+
+	db.Scan([]byte("a"), []byte("c"), func(k, v []byte) bool {
+		fmt.Printf("%s=%s\n", k, v)
+		return true
+	})
+
+	db.Delete([]byte("apple"))
+	fmt.Println("records:", db.Len())
+
+	// Output:
+	// banana: yellow
+	// apple=red
+	// banana=yellow
+	// records: 2
+}
+
+// Durability: take the persistent-memory image a power failure would
+// leave behind, then recover a new index from it.
+func ExampleRestore() {
+	db, err := hart.New(hart.Options{CrashSimulation: true, ArenaSize: 4 << 20})
+	if err != nil {
+		panic(err)
+	}
+	db.Put([]byte("survives"), []byte("yes"))
+
+	img, err := db.CrashImage() // simulated power failure
+	if err != nil {
+		panic(err)
+	}
+
+	recovered, err := hart.Restore(img, hart.Options{})
+	if err != nil {
+		panic(err)
+	}
+	v, _ := recovered.Get([]byte("survives"))
+	fmt.Printf("%s\n", v)
+	// Output: yes
+}
+
+// PM latency emulation: the paper's 600/300 configuration charges the
+// PM-DRAM latency gap on every persist and cache-missing PM read.
+func ExampleOptions_latency() {
+	db, err := hart.New(hart.Options{
+		PMWriteNs: 600, // paper's 600/300 configuration
+		PMReadNs:  300,
+		ArenaSize: 4 << 20,
+	})
+	if err != nil {
+		panic(err)
+	}
+	db.Put([]byte("k"), []byte("v"))
+	st := db.Arena().Clock().Snapshot()
+	fmt.Println("persists charged:", st.Persists > 0)
+	// Output: persists charged: true
+}
+
+// Larger value classes: the paper's two classes (8 B, 16 B) extend to any
+// ascending multiple-of-8 table.
+func ExampleOptions_valueClasses() {
+	db, err := hart.New(hart.Options{
+		ValueClasses: []int64{8, 16, 64},
+		ArenaSize:    4 << 20,
+	})
+	if err != nil {
+		panic(err)
+	}
+	long := make([]byte, 60)
+	for i := range long {
+		long[i] = 'x'
+	}
+	fmt.Println("60-byte value accepted:", db.Put([]byte("big"), long) == nil)
+	// Output: 60-byte value accepted: true
+}

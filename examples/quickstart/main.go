@@ -1,0 +1,67 @@
+// Quickstart: the smallest useful tour of the public HART API — create a
+// store, write, read, update, range-scan, delete, and inspect stats.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	hart "github.com/casl-sdsu/hart"
+)
+
+func main() {
+	db, err := hart.New(hart.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+
+	// Insert a handful of records (Algorithm 1). Keys are at most 24
+	// bytes, values at most 16 bytes (the paper's two value classes).
+	fruit := map[string]string{
+		"apple": "red", "apricot": "orange", "banana": "yellow",
+		"blueberry": "blue", "cherry": "dark-red", "fig": "purple",
+	}
+	for k, v := range fruit {
+		if err := db.Put([]byte(k), []byte(v)); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("stored %d records across %d ARTs\n", db.Len(), db.NumARTs())
+
+	// Point lookup (Algorithm 4).
+	if v, ok := db.Get([]byte("cherry")); ok {
+		fmt.Printf("cherry is %s\n", v)
+	}
+
+	// Out-of-place update under the persistent update log (Algorithm 3).
+	if err := db.Update([]byte("apple"), []byte("green")); err != nil {
+		log.Fatal(err)
+	}
+	v, _ := db.Get([]byte("apple"))
+	fmt.Printf("apple is now %s\n", v)
+
+	// Ordered range scan over [a, b): spans the "ap" and "ba" ARTs.
+	fmt.Println("fruit in [a, c):")
+	db.Scan([]byte("a"), []byte("c"), func(k, v []byte) bool {
+		fmt.Printf("  %-10s %s\n", k, v)
+		return true
+	})
+
+	// Deletion (Algorithm 5) releases the leaf and value objects; their
+	// chunk space is recycled once empty (Algorithm 6).
+	if err := db.Delete([]byte("fig")); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("after delete: %d records\n", db.Len())
+
+	// The index can audit itself: no lost records, no persistent leaks.
+	if err := db.Check(); err != nil {
+		log.Fatalf("consistency check failed: %v", err)
+	}
+	st := db.Stats()
+	fmt.Printf("PM: %.1f KB reserved, %d persists; DRAM: %.1f KB\n",
+		float64(st.Size.PMBytes)/1024, st.Arena.Persists, float64(st.Size.DRAMBytes)/1024)
+}

@@ -1,0 +1,88 @@
+// YCSB-style mixed workloads: runs the paper's three cloud-database
+// operation mixes (Fig. 9) against HART under each PM latency
+// configuration and prints per-op latency and throughput.
+//
+//	go run ./examples/ycsb [-records 50000] [-ops 50000]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	hart "github.com/casl-sdsu/hart"
+	"github.com/casl-sdsu/hart/internal/workload"
+)
+
+func main() {
+	records := flag.Int("records", 50000, "preloaded record count")
+	nops := flag.Int("ops", 50000, "operations per mix")
+	flag.Parse()
+
+	pre := workload.Random(*records, 1)
+	fresh := workload.Random(*records+*nops, 2)[*records:]
+	// Drop the (rare) fresh keys that collide with preloaded ones, so
+	// every generated insert really is an insert.
+	seen := make(map[string]bool, len(pre))
+	for _, k := range pre {
+		seen[string(k)] = true
+	}
+	uniq := fresh[:0]
+	for _, k := range fresh {
+		if !seen[string(k)] {
+			uniq = append(uniq, k)
+		}
+	}
+	fresh = uniq
+
+	lats := []struct {
+		name            string
+		writeNs, readNs int64
+	}{{"300/100", 300, 100}, {"300/300", 300, 300}, {"600/300", 600, 300}}
+
+	for _, mix := range workload.Mixes() {
+		ops := mix.Generate(*nops, pre, fresh, 8, 3)
+		fmt.Printf("\n%s (%d%% insert / %d%% search / %d%% update / %d%% delete), uniform distribution\n",
+			mix.Name, mix.InsertPct, mix.SearchPct, mix.UpdatePct, mix.DeletePct)
+		for _, lat := range lats {
+			db, err := hart.New(hart.Options{
+				ArenaSize: int64(*records+*nops)*256 + (32 << 20),
+				PMWriteNs: lat.writeNs,
+				PMReadNs:  lat.readNs,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			for _, k := range pre {
+				if err := db.Put(k, []byte("00000000")); err != nil {
+					log.Fatal(err)
+				}
+			}
+			start := time.Now()
+			for _, op := range ops {
+				switch op.Kind {
+				case workload.OpInsert:
+					err = db.Put(op.Key, op.Value)
+				case workload.OpSearch:
+					db.Get(op.Key)
+				case workload.OpUpdate:
+					err = db.Update(op.Key, op.Value)
+				case workload.OpDelete:
+					err = db.Delete(op.Key)
+				}
+				if err != nil {
+					log.Fatalf("%s: %v", mix.Name, err)
+				}
+			}
+			d := time.Since(start)
+			if err := db.Check(); err != nil {
+				log.Fatalf("fsck after %s: %v", mix.Name, err)
+			}
+			fmt.Printf("  PM %-8s %8.3f us/op  %8.0f ops/s\n",
+				lat.name, float64(d.Nanoseconds())/float64(len(ops))/1000,
+				float64(len(ops))/d.Seconds())
+			db.Close()
+		}
+	}
+}

@@ -1,0 +1,3 @@
+module github.com/casl-sdsu/hart
+
+go 1.23

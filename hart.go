@@ -1,0 +1,135 @@
+// Package hart is the public facade of this repository's reproduction of
+// "HART: A Concurrent Hash-Assisted Radix Tree for DRAM-PM Hybrid Memory
+// Systems" (Pan, Xie, Song — IEEE IPDPS 2019).
+//
+// A DB is a concurrent persistent key-value index: a DRAM hash directory
+// routes the first few key bytes to one Adaptive Radix Tree per hash key;
+// ART internal nodes stay in DRAM while leaves and values live on
+// simulated persistent memory, committed through EPallocator's chunk
+// bitmaps so that crashes can neither tear an operation nor leak PM.
+//
+// Quick start:
+//
+//	db, err := hart.New(hart.Options{})
+//	...
+//	db.Put([]byte("key"), []byte("value"))
+//	v, ok := db.Get([]byte("key"))
+//	db.Scan([]byte("a"), []byte("b"), func(k, v []byte) bool { ... })
+//
+// Durability round trip (the simulated-PM equivalent of remapping a DAX
+// file after a restart):
+//
+//	img, _ := db.CrashImage()       // what PM holds if power fails now
+//	db2, _ := hart.Restore(img, hart.Options{CrashSimulation: true})
+//
+// See DESIGN.md for the full architecture and EXPERIMENTS.md for the
+// reproduction of the paper's evaluation.
+package hart
+
+import (
+	"github.com/casl-sdsu/hart/internal/core"
+	"github.com/casl-sdsu/hart/internal/latency"
+	"github.com/casl-sdsu/hart/internal/pmem"
+)
+
+// Key and value limits (paper Section III.A.5).
+const (
+	// MaxKeyLen is the maximum key length in bytes.
+	MaxKeyLen = core.MaxKeyLen
+	// MaxValueLen is the maximum value length in bytes.
+	MaxValueLen = core.MaxValueLen
+)
+
+// Errors re-exported from the core implementation.
+var (
+	// ErrNotFound reports a missing key.
+	ErrNotFound = core.ErrNotFound
+	// ErrKeyTooLong reports a key above MaxKeyLen bytes.
+	ErrKeyTooLong = core.ErrKeyTooLong
+	// ErrValueTooLong reports a value above MaxValueLen bytes.
+	ErrValueTooLong = core.ErrValueTooLong
+)
+
+// Options configures a DB.
+type Options struct {
+	// HashKeyLen is kh, the number of leading key bytes routed by the
+	// hash directory (default 2, the paper's setting).
+	HashKeyLen int
+	// ArenaSize is the simulated PM capacity in bytes (default 64 MiB).
+	ArenaSize int64
+	// PMWriteNs / PMReadNs enable PM latency emulation when non-zero,
+	// e.g. 300/100, 300/300 or 600/300 as in the paper. Penalties are
+	// injected by busy-waiting so measured wall time reflects them.
+	PMWriteNs, PMReadNs int64
+	// CrashSimulation tracks a separate durable view so CrashImage and
+	// crash-point injection work (costs memory and write overhead).
+	CrashSimulation bool
+	// ValueClasses lists value-object sizes in bytes, ascending multiples
+	// of 8 (default [8, 16], the paper's two classes). The largest class
+	// bounds value length; Restore must be given the same table.
+	ValueClasses []int64
+}
+
+// DB is a HART index. All methods are safe for concurrent use; writers to
+// different ARTs (different leading key bytes) run in parallel.
+type DB struct {
+	*core.HART
+}
+
+// coreOptions translates the public options.
+func (o Options) coreOptions() core.Options {
+	opts := core.Options{
+		HashKeyLen:   o.HashKeyLen,
+		ArenaSize:    o.ArenaSize,
+		Tracking:     o.CrashSimulation,
+		ValueClasses: o.ValueClasses,
+	}
+	if o.PMWriteNs > 0 || o.PMReadNs > 0 {
+		opts.Latency = latency.Config{
+			Mode:        latency.ModeSpin,
+			PMWriteNs:   o.PMWriteNs,
+			PMReadNs:    o.PMReadNs,
+			DRAMReadNs:  100,
+			DRAMWriteNs: 15,
+		}
+		opts.CacheModel = opts.Latency.ReadDeltaNs() > 0
+	}
+	return opts
+}
+
+// New creates an empty DB over a fresh simulated PM arena.
+func New(opts Options) (*DB, error) {
+	h, err := core.New(opts.coreOptions())
+	if err != nil {
+		return nil, err
+	}
+	return &DB{HART: h}, nil
+}
+
+// Restore attaches to a durable PM image (from CrashImage) and runs
+// recovery: interrupted updates are completed from their micro-logs and
+// the hash directory plus all ART internal nodes are rebuilt from the
+// persistent leaves (paper Algorithm 7).
+func Restore(image []byte, opts Options) (*DB, error) {
+	co := opts.coreOptions()
+	arena, err := pmem.Attach(image, pmem.Config{
+		Size:     int64(len(image)),
+		Tracking: co.Tracking,
+		Latency:  co.Latency,
+	})
+	if err != nil {
+		return nil, err
+	}
+	h, err := core.Open(arena, co)
+	if err != nil {
+		return nil, err
+	}
+	return &DB{HART: h}, nil
+}
+
+// CrashImage returns the bytes persistent memory would hold if power
+// failed right now: everything persisted survives, everything else is
+// gone. Requires Options.CrashSimulation.
+func (db *DB) CrashImage() ([]byte, error) {
+	return db.Arena().DurableImage()
+}

@@ -1,0 +1,189 @@
+package art
+
+import "bytes"
+
+// Delete removes key, returning its value if present. Inner nodes shrink
+// to smaller kinds as they empty, and single-child paths re-compress, so a
+// tree that empties returns to a nil root.
+func (t *Tree) Delete(key []byte) (uint64, bool) {
+	nn, old, ok := t.remove(t.root, key, 0)
+	if !ok {
+		return 0, false
+	}
+	t.root = nn
+	t.size--
+	return old, true
+}
+
+// remove deletes key below n and returns the replacement node.
+func (t *Tree) remove(n node, key []byte, depth int) (node, uint64, bool) {
+	if n == nil {
+		return nil, 0, false
+	}
+	if l, ok := n.(*leaf); ok {
+		if bytes.Equal(l.key, key) {
+			return nil, l.val, true
+		}
+		return n, 0, false
+	}
+
+	h := header(n)
+	if len(key)-depth < len(h.prefix) || !bytes.Equal(h.prefix, key[depth:depth+len(h.prefix)]) {
+		return n, 0, false
+	}
+	depth += len(h.prefix)
+
+	if depth == len(key) {
+		if h.term == nil {
+			return n, 0, false
+		}
+		old := h.term.val
+		h.term = nil
+		return compact(n), old, true
+	}
+
+	b := key[depth]
+	child := findChild(n, b)
+	if child == nil {
+		return n, 0, false
+	}
+	newChild, old, ok := t.remove(child, key, depth+1)
+	if !ok {
+		return n, 0, false
+	}
+	if newChild == nil {
+		removeChild(n, b)
+		return compact(n), old, true
+	}
+	if newChild != child {
+		replaceChild(n, b, newChild)
+	}
+	return n, old, true
+}
+
+// removeChild deletes the edge b; b must be present.
+func removeChild(n node, b byte) {
+	switch v := n.(type) {
+	case *node4:
+		for i := 0; i < v.n; i++ {
+			if v.keys[i] == b {
+				copy(v.keys[i:v.n-1], v.keys[i+1:v.n])
+				copy(v.children[i:v.n-1], v.children[i+1:v.n])
+				v.n--
+				v.children[v.n] = nil
+				return
+			}
+		}
+	case *node16:
+		for i := 0; i < v.n; i++ {
+			if v.keys[i] == b {
+				copy(v.keys[i:v.n-1], v.keys[i+1:v.n])
+				copy(v.children[i:v.n-1], v.children[i+1:v.n])
+				v.n--
+				v.children[v.n] = nil
+				return
+			}
+		}
+	case *node48:
+		if s := v.index[b]; s != 0 {
+			v.children[s-1] = nil
+			v.index[b] = 0
+			v.n--
+			return
+		}
+	case *node256:
+		if v.children[b] != nil {
+			v.children[b] = nil
+			v.n--
+			return
+		}
+	}
+	panic("art: removeChild on absent edge")
+}
+
+// compact re-establishes the tree's shape invariants after a removal:
+// empty nodes vanish, a lone terminator collapses to its leaf, a lone
+// child re-compresses into the parent path, and underfull nodes downsize
+// to the smaller kind.
+func compact(n node) node {
+	h := header(n)
+	switch {
+	case h.n == 0 && h.term == nil:
+		return nil
+	case h.n == 0:
+		return h.term
+	case h.n == 1 && h.term == nil:
+		// Path re-compression: merge prefix + edge byte + child prefix.
+		b, child := soleChild(n)
+		if cl, ok := child.(*leaf); ok {
+			return cl
+		}
+		ch := header(child)
+		merged := make([]byte, 0, len(h.prefix)+1+len(ch.prefix))
+		merged = append(merged, h.prefix...)
+		merged = append(merged, b)
+		merged = append(merged, ch.prefix...)
+		ch.prefix = merged
+		return child
+	}
+	switch v := n.(type) {
+	case *node16:
+		if v.n <= 3 {
+			d := &node4{inner: v.inner}
+			copy(d.keys[:], v.keys[:v.n])
+			copy(d.children[:], v.children[:v.n])
+			return d
+		}
+	case *node48:
+		if v.n <= 12 {
+			d := &node16{inner: v.inner}
+			i := 0
+			for kb := 0; kb < 256; kb++ {
+				if s := v.index[kb]; s != 0 {
+					d.keys[i] = byte(kb)
+					d.children[i] = v.children[s-1]
+					i++
+				}
+			}
+			return d
+		}
+	case *node256:
+		if v.n <= 37 {
+			d := &node48{inner: v.inner}
+			slot := 0
+			for kb := 0; kb < 256; kb++ {
+				if c := v.children[kb]; c != nil {
+					d.children[slot] = c
+					d.index[kb] = uint8(slot + 1)
+					slot++
+				}
+			}
+			return d
+		}
+	}
+	return n
+}
+
+// soleChild returns the edge byte and child of a node with exactly one
+// child.
+func soleChild(n node) (byte, node) {
+	switch v := n.(type) {
+	case *node4:
+		return v.keys[0], v.children[0]
+	case *node16:
+		return v.keys[0], v.children[0]
+	case *node48:
+		for kb := 0; kb < 256; kb++ {
+			if s := v.index[kb]; s != 0 {
+				return byte(kb), v.children[s-1]
+			}
+		}
+	case *node256:
+		for kb := 0; kb < 256; kb++ {
+			if v.children[kb] != nil {
+				return byte(kb), v.children[kb]
+			}
+		}
+	}
+	panic("art: soleChild on node without children")
+}

@@ -1,0 +1,182 @@
+package art
+
+import "bytes"
+
+// Insert stores val under key, returning the previous value if the key was
+// already present. The key bytes are copied; callers may reuse the slice.
+func (t *Tree) Insert(key []byte, val uint64) (old uint64, updated bool) {
+	k := append([]byte(nil), key...)
+	t.root, old, updated = t.insert(t.root, k, 0, val)
+	if !updated {
+		t.size++
+	}
+	return old, updated
+}
+
+// insert adds key below n (whose path covers key[:depth]) and returns the
+// possibly replaced node.
+func (t *Tree) insert(n node, key []byte, depth int, val uint64) (node, uint64, bool) {
+	if n == nil {
+		return &leaf{key: key, val: val}, 0, false
+	}
+	if l, ok := n.(*leaf); ok {
+		if bytes.Equal(l.key, key) {
+			old := l.val
+			l.val = val
+			return n, old, true
+		}
+		// Lazy expansion ends here: split the single-record leaf into a
+		// NODE4 covering the diverging suffixes.
+		cp := commonPrefixLen(l.key[depth:], key[depth:])
+		nn := &node4{inner: inner{prefix: append([]byte(nil), key[depth:depth+cp]...)}}
+		attach(nn, l.key, depth+cp, l)
+		attach(nn, key, depth+cp, &leaf{key: key, val: val})
+		return nn, 0, false
+	}
+
+	h := header(n)
+	cp := commonPrefixLen(h.prefix, key[depth:])
+	if cp < len(h.prefix) {
+		// The key diverges inside n's compressed path: split the prefix.
+		nn := &node4{inner: inner{prefix: append([]byte(nil), h.prefix[:cp]...)}}
+		edge := h.prefix[cp]
+		h.prefix = append([]byte(nil), h.prefix[cp+1:]...)
+		addChild(nn, edge, n)
+		attach(nn, key, depth+cp, &leaf{key: key, val: val})
+		return nn, 0, false
+	}
+	depth += len(h.prefix)
+
+	if depth == len(key) {
+		// The key terminates exactly at this node.
+		if h.term != nil {
+			old := h.term.val
+			h.term.val = val
+			return n, old, true
+		}
+		h.term = &leaf{key: key, val: val}
+		return n, 0, false
+	}
+
+	b := key[depth]
+	child := findChild(n, b)
+	if child == nil {
+		return addChild(n, b, &leaf{key: key, val: val}), 0, false
+	}
+	newChild, old, updated := t.insert(child, key, depth+1, val)
+	if newChild != child {
+		replaceChild(n, b, newChild)
+	}
+	return n, old, updated
+}
+
+// attach hangs leaf l below nn: as the terminator when l's key ends at
+// position pos, otherwise as a child under edge byte key[pos].
+func attach(nn *node4, key []byte, pos int, l *leaf) {
+	if pos == len(key) {
+		nn.term = l
+	} else {
+		addChild(nn, key[pos], l)
+	}
+}
+
+// addChild inserts child under byte b, growing the node when full, and
+// returns the node that now holds the children (n itself or its grown
+// replacement). b must not already be present.
+func addChild(n node, b byte, child node) node {
+	switch v := n.(type) {
+	case *node4:
+		if v.n < 4 {
+			i := 0
+			for i < v.n && v.keys[i] < b {
+				i++
+			}
+			copy(v.keys[i+1:v.n+1], v.keys[i:v.n])
+			copy(v.children[i+1:v.n+1], v.children[i:v.n])
+			v.keys[i] = b
+			v.children[i] = child
+			v.n++
+			return v
+		}
+		g := &node16{inner: v.inner}
+		copy(g.keys[:], v.keys[:])
+		copy(g.children[:], v.children[:])
+		return addChild(g, b, child)
+
+	case *node16:
+		if v.n < 16 {
+			i := 0
+			for i < v.n && v.keys[i] < b {
+				i++
+			}
+			copy(v.keys[i+1:v.n+1], v.keys[i:v.n])
+			copy(v.children[i+1:v.n+1], v.children[i:v.n])
+			v.keys[i] = b
+			v.children[i] = child
+			v.n++
+			return v
+		}
+		g := &node48{inner: v.inner}
+		for i := 0; i < 16; i++ {
+			g.children[i] = v.children[i]
+			g.index[v.keys[i]] = uint8(i + 1)
+		}
+		return addChild(g, b, child)
+
+	case *node48:
+		if v.n < 48 {
+			slot := 0
+			for v.children[slot] != nil {
+				slot++
+			}
+			v.children[slot] = child
+			v.index[b] = uint8(slot + 1)
+			v.n++
+			return v
+		}
+		g := &node256{inner: v.inner}
+		for kb := 0; kb < 256; kb++ {
+			if s := v.index[kb]; s != 0 {
+				g.children[kb] = v.children[s-1]
+			}
+		}
+		return addChild(g, b, child)
+
+	case *node256:
+		v.children[b] = child
+		v.n++
+		return v
+	}
+	panic("art: addChild on leaf")
+}
+
+// replaceChild swaps the child under byte b; b must be present.
+func replaceChild(n node, b byte, child node) {
+	switch v := n.(type) {
+	case *node4:
+		for i := 0; i < v.n; i++ {
+			if v.keys[i] == b {
+				v.children[i] = child
+				return
+			}
+		}
+	case *node16:
+		for i := 0; i < v.n; i++ {
+			if v.keys[i] == b {
+				v.children[i] = child
+				return
+			}
+		}
+	case *node48:
+		if s := v.index[b]; s != 0 {
+			v.children[s-1] = child
+			return
+		}
+	case *node256:
+		if v.children[b] != nil {
+			v.children[b] = child
+			return
+		}
+	}
+	panic("art: replaceChild on absent edge")
+}

@@ -1,0 +1,230 @@
+package art
+
+import "bytes"
+
+// Ascend visits every record in ascending key order until fn returns
+// false. It returns false if the iteration was cut short.
+func (t *Tree) Ascend(fn func(key []byte, val uint64) bool) bool {
+	return walk(t.root, nil, nil, fn)
+}
+
+// AscendRange visits records with start <= key < end in ascending order.
+// A nil start means "from the smallest key"; a nil end means "to the
+// largest". It returns false if fn cut the iteration short.
+func (t *Tree) AscendRange(start, end []byte, fn func(key []byte, val uint64) bool) bool {
+	return walk(t.root, start, end, fn)
+}
+
+// walk traverses n in order, pruning subtrees that fall wholly outside
+// [start, end). Leaves carry full keys, so boundary subtrees are resolved
+// by exact comparison at the leaf.
+func walk(n node, start, end []byte, fn func(key []byte, val uint64) bool) bool {
+	if n == nil {
+		return true
+	}
+	if l, ok := n.(*leaf); ok {
+		return emit(l, start, end, fn)
+	}
+	h := header(n)
+	if h.term != nil && !emit(h.term, start, end, fn) {
+		return false
+	}
+	visit := func(c node) bool {
+		// Pruning by leaf bounds: the minimum and maximum keys of c tell
+		// whether the subtree intersects the range at all. Computing them
+		// is O(height); for boundary subtrees this is cheaper than
+		// visiting every leaf, and interior subtrees short-circuit on the
+		// start/end == nil fast path below.
+		return walk(c, start, end, fn)
+	}
+	switch v := n.(type) {
+	case *node4:
+		for i := 0; i < v.n; i++ {
+			if !visit(v.children[i]) {
+				return false
+			}
+		}
+	case *node16:
+		for i := 0; i < v.n; i++ {
+			if !visit(v.children[i]) {
+				return false
+			}
+		}
+	case *node48:
+		for kb := 0; kb < 256; kb++ {
+			if s := v.index[kb]; s != 0 {
+				if !visit(v.children[s-1]) {
+					return false
+				}
+			}
+		}
+	case *node256:
+		for kb := 0; kb < 256; kb++ {
+			if c := v.children[kb]; c != nil {
+				if !visit(c) {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// emit applies the range filter and calls fn. Iteration stops (returns
+// false) once a key at or beyond end is seen, which bounds the work of a
+// range scan by the size of the result plus one subtree.
+func emit(l *leaf, start, end []byte, fn func(key []byte, val uint64) bool) bool {
+	if start != nil && bytes.Compare(l.key, start) < 0 {
+		return true
+	}
+	if end != nil && bytes.Compare(l.key, end) >= 0 {
+		return false
+	}
+	return fn(l.key, l.val)
+}
+
+// Min returns the smallest key and its value.
+func (t *Tree) Min() (key []byte, val uint64, ok bool) {
+	return extreme(t.root, false)
+}
+
+// Max returns the largest key and its value.
+func (t *Tree) Max() (key []byte, val uint64, ok bool) {
+	return extreme(t.root, true)
+}
+
+// extreme descends to the smallest (max=false) or largest (max=true) leaf.
+func extreme(n node, max bool) ([]byte, uint64, bool) {
+	for n != nil {
+		if l, ok := n.(*leaf); ok {
+			return l.key, l.val, true
+		}
+		h := header(n)
+		if !max && h.term != nil {
+			return h.term.key, h.term.val, true
+		}
+		var next node
+		switch v := n.(type) {
+		case *node4:
+			if max {
+				next = v.children[v.n-1]
+			} else {
+				next = v.children[0]
+			}
+		case *node16:
+			if max {
+				next = v.children[v.n-1]
+			} else {
+				next = v.children[0]
+			}
+		case *node48:
+			if max {
+				for kb := 255; kb >= 0; kb-- {
+					if s := v.index[kb]; s != 0 {
+						next = v.children[s-1]
+						break
+					}
+				}
+			} else {
+				for kb := 0; kb < 256; kb++ {
+					if s := v.index[kb]; s != 0 {
+						next = v.children[s-1]
+						break
+					}
+				}
+			}
+		case *node256:
+			if max {
+				for kb := 255; kb >= 0; kb-- {
+					if v.children[kb] != nil {
+						next = v.children[kb]
+						break
+					}
+				}
+			} else {
+				for kb := 0; kb < 256; kb++ {
+					if v.children[kb] != nil {
+						next = v.children[kb]
+						break
+					}
+				}
+			}
+		}
+		if max && h.term != nil && next == nil {
+			return h.term.key, h.term.val, true
+		}
+		n = next
+	}
+	return nil, 0, false
+}
+
+// Descend visits every record in descending key order until fn returns
+// false.
+func (t *Tree) Descend(fn func(key []byte, val uint64) bool) bool {
+	return walkDesc(t.root, nil, nil, fn)
+}
+
+// DescendRange visits records with start <= key < end in descending
+// order (the same half-open interval as AscendRange, reversed).
+func (t *Tree) DescendRange(start, end []byte, fn func(key []byte, val uint64) bool) bool {
+	return walkDesc(t.root, start, end, fn)
+}
+
+// walkDesc mirrors walk with children visited in reverse byte order and
+// the terminator leaf (the node's smallest key) last.
+func walkDesc(n node, start, end []byte, fn func(key []byte, val uint64) bool) bool {
+	if n == nil {
+		return true
+	}
+	if l, ok := n.(*leaf); ok {
+		return emitDesc(l, start, end, fn)
+	}
+	h := header(n)
+	visit := func(c node) bool { return walkDesc(c, start, end, fn) }
+	switch v := n.(type) {
+	case *node4:
+		for i := v.n - 1; i >= 0; i-- {
+			if !visit(v.children[i]) {
+				return false
+			}
+		}
+	case *node16:
+		for i := v.n - 1; i >= 0; i-- {
+			if !visit(v.children[i]) {
+				return false
+			}
+		}
+	case *node48:
+		for kb := 255; kb >= 0; kb-- {
+			if s := v.index[kb]; s != 0 {
+				if !visit(v.children[s-1]) {
+					return false
+				}
+			}
+		}
+	case *node256:
+		for kb := 255; kb >= 0; kb-- {
+			if c := v.children[kb]; c != nil {
+				if !visit(c) {
+					return false
+				}
+			}
+		}
+	}
+	if h.term != nil && !emitDesc(h.term, start, end, fn) {
+		return false
+	}
+	return true
+}
+
+// emitDesc applies the range filter for descending traversal: iteration
+// stops once a key below start is seen.
+func emitDesc(l *leaf, start, end []byte, fn func(key []byte, val uint64) bool) bool {
+	if end != nil && bytes.Compare(l.key, end) >= 0 {
+		return true
+	}
+	if start != nil && bytes.Compare(l.key, start) < 0 {
+		return false
+	}
+	return fn(l.key, l.val)
+}

@@ -1,0 +1,238 @@
+// Package artcow implements ART+CoW, the copy-on-write persistent ART
+// baseline of the HART paper (after Lee et al., FAST 2017).
+//
+// ART+CoW shares WOART's node layouts (package pmart) and pure-PM
+// placement, but guarantees failure atomicity differently: every
+// structural mutation clones the root-to-leaf path it touches, persists
+// the fresh nodes completely off to the side, and publishes the whole new
+// path with a single atomic root-pointer swap. Unmodified subtrees are
+// shared between the old and new versions; the replaced path nodes are
+// freed only after the swap.
+//
+// This makes every insert/delete O(depth) node copies plus persists —
+// the CoW overhead that the paper's Figs. 4 and 7 show dominating its
+// write performance. Value updates use the same out-of-place value object
+// plus atomic leaf pointer swing as WOART and HART (paper Section IV.B,
+// Update: "we used a similar update mechanism for HART, WOART, and
+// ART+CoW").
+//
+// Keys must not contain 0x00 (internal terminator, as in package woart).
+package artcow
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+
+	"github.com/casl-sdsu/hart/internal/cachesim"
+	"github.com/casl-sdsu/hart/internal/kv"
+	"github.com/casl-sdsu/hart/internal/latency"
+	"github.com/casl-sdsu/hart/internal/pmart"
+	"github.com/casl-sdsu/hart/internal/pmem"
+)
+
+// Superblock layout (first reservation, fixed offset).
+const (
+	sbMagicOff = 0
+	sbRootOff  = 8
+	sbSize     = 16
+
+	cowMagic = 0x434f574152540001 // "COWART"
+)
+
+// Errors returned by the tree.
+var (
+	// ErrNotFound reports a missing key.
+	ErrNotFound = errors.New("artcow: key not found")
+	// ErrBadKey reports an empty, oversized or zero-containing key.
+	ErrBadKey = errors.New("artcow: invalid key")
+	// ErrBadValue reports an empty or oversized value.
+	ErrBadValue = errors.New("artcow: invalid value")
+)
+
+// Options configures a tree.
+type Options struct {
+	// ArenaSize is the simulated PM capacity (default 64 MiB).
+	ArenaSize int64
+	// Latency selects PM latency emulation.
+	Latency latency.Config
+	// CacheModel attaches a simulated CPU cache.
+	CacheModel bool
+	// Tracking enables crash simulation.
+	Tracking bool
+}
+
+// Tree is one ART+CoW instance.
+type Tree struct {
+	mu    sync.RWMutex
+	arena *pmem.Arena
+	na    *pmart.NodeAlloc
+	sb    pmem.Ptr
+	size  int
+}
+
+var _ kv.Index = (*Tree)(nil)
+
+// New creates an ART+CoW over a fresh arena.
+func New(opts Options) (*Tree, error) {
+	if opts.ArenaSize == 0 {
+		opts.ArenaSize = 64 << 20
+	}
+	var cache *cachesim.Cache
+	if opts.CacheModel {
+		cache = cachesim.Default()
+	}
+	arena, err := pmem.New(pmem.Config{
+		Size: opts.ArenaSize, Tracking: opts.Tracking, Latency: opts.Latency, Cache: cache,
+	})
+	if err != nil {
+		return nil, err
+	}
+	sb, err := arena.Reserve(sbSize, 8)
+	if err != nil {
+		return nil, err
+	}
+	arena.Write8(sb+sbRootOff, 0)
+	arena.Write8(sb+sbMagicOff, cowMagic)
+	arena.Persist(sb, sbSize)
+	return &Tree{arena: arena, na: pmart.NewNodeAlloc(arena), sb: sb}, nil
+}
+
+// Open attaches to an existing arena (pure-PM tree: no rebuild needed).
+func Open(arena *pmem.Arena) (*Tree, error) {
+	sb := pmem.Ptr(pmem.HeaderSize)
+	if arena.Reserved() < pmem.HeaderSize+sbSize || arena.Read8(sb+sbMagicOff) != cowMagic {
+		return nil, errors.New("artcow: no tree in arena")
+	}
+	t := &Tree{arena: arena, na: pmart.NewNodeAlloc(arena), sb: sb}
+	t.size = pmart.CountRecords(arena, t.root())
+	return t, nil
+}
+
+// Name implements kv.Index.
+func (t *Tree) Name() string { return "ART+CoW" }
+
+// Arena implements kv.Index.
+func (t *Tree) Arena() *pmem.Arena { return t.arena }
+
+// Len implements kv.Index.
+func (t *Tree) Len() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.size
+}
+
+// Close implements kv.Index.
+func (t *Tree) Close() error { return nil }
+
+// SizeInfo implements kv.Index: everything is on PM.
+func (t *Tree) SizeInfo() kv.SizeInfo {
+	return kv.SizeInfo{PMBytes: t.arena.Reserved()}
+}
+
+// root loads the persistent root pointer.
+func (t *Tree) root() pmem.Ptr { return t.arena.ReadPtr(t.sb + sbRootOff) }
+
+// publish swaps the root atomically — the single commit point of every
+// CoW mutation — and then releases the replaced path nodes.
+func (t *Tree) publish(newRoot pmem.Ptr, freed []freedBlock) {
+	pmart.ReplaceChildAt(t.arena, t.sb+sbRootOff, newRoot)
+	for _, f := range freed {
+		t.na.Free(f.p, f.size)
+	}
+}
+
+// freedBlock records one node or value replaced by a CoW mutation.
+type freedBlock struct {
+	p    pmem.Ptr
+	size int64
+}
+
+// validate enforces the key/value contract.
+func validate(key, value []byte, needValue bool) error {
+	if len(key) == 0 || len(key) > pmart.MaxKeyLen || bytes.IndexByte(key, 0) >= 0 {
+		return fmt.Errorf("%w: %q", ErrBadKey, key)
+	}
+	if needValue && (len(value) == 0 || len(value) > 16) {
+		return fmt.Errorf("%w: %d bytes", ErrBadValue, len(value))
+	}
+	return nil
+}
+
+// valueSize rounds a value length to its PM block size.
+func valueSize(n int) int64 {
+	if n <= 8 {
+		return 8
+	}
+	return 16
+}
+
+// newValue allocates, writes and persists a value object.
+func (t *Tree) newValue(value []byte) (uint64, error) {
+	vp, err := t.na.Alloc(valueSize(len(value)))
+	if err != nil {
+		return 0, err
+	}
+	t.arena.WriteAt(vp, value)
+	t.arena.Persist(vp, len(value))
+	return pmart.PackValue(vp, len(value)), nil
+}
+
+// Get implements kv.Index.
+func (t *Tree) Get(key []byte) ([]byte, bool) {
+	if validate(key, nil, false) != nil {
+		return nil, false
+	}
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	leaf := pmart.Lookup(t.arena, t.root(), key)
+	if leaf.IsNil() {
+		return nil, false
+	}
+	v := pmart.ReadLeafValue(t.arena, leaf)
+	return v, v != nil
+}
+
+// Scan implements kv.Index.
+func (t *Tree) Scan(start, end []byte, fn func(key, value []byte) bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	pmart.Walk(t.arena, t.root(), start, end, fn)
+}
+
+// Update implements kv.Index: out-of-place value, atomic pointer swing.
+func (t *Tree) Update(key, value []byte) error {
+	if err := validate(key, value, true); err != nil {
+		return err
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	leaf := pmart.Lookup(t.arena, t.root(), key)
+	if leaf.IsNil() {
+		return ErrNotFound
+	}
+	return t.updateLeaf(leaf, value)
+}
+
+// updateLeaf swings the leaf's value word to a fresh value object.
+func (t *Tree) updateLeaf(leaf pmem.Ptr, value []byte) error {
+	w, err := t.newValue(value)
+	if err != nil {
+		return err
+	}
+	old := t.arena.Read8(leaf + pmart.LeafValueWord)
+	t.arena.Write8(leaf+pmart.LeafValueWord, w)
+	t.arena.Persist(leaf+pmart.LeafValueWord, 8)
+	if vp, n := pmart.UnpackValue(old); !vp.IsNil() {
+		t.na.Free(vp, valueSize(n))
+	}
+	return nil
+}
+
+// Check validates structural invariants.
+func (t *Tree) Check() error {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return pmart.CheckTree(t.arena, t.root(), t.size, "artcow")
+}

@@ -1,0 +1,161 @@
+package artcow
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/casl-sdsu/hart/internal/kv"
+	"github.com/casl-sdsu/hart/internal/kv/kvtest"
+	"github.com/casl-sdsu/hart/internal/pmem"
+)
+
+func factory(t *testing.T) kv.Index {
+	tr, err := New(Options{ArenaSize: 256 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestConformance(t *testing.T) {
+	kvtest.RunAll(t, factory)
+}
+
+func TestValidation(t *testing.T) {
+	tr, err := New(Options{ArenaSize: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Put(nil, []byte("v")); err == nil {
+		t.Fatal("empty key accepted")
+	}
+	if err := tr.Put([]byte("a\x00b"), []byte("v")); err == nil {
+		t.Fatal("zero-byte key accepted")
+	}
+	if err := tr.Put([]byte("k"), make([]byte, 20)); err == nil {
+		t.Fatal("oversized value accepted")
+	}
+}
+
+// TestRootSwapAtomicity crashes inserts at every persist boundary: with
+// copy-on-write, the durable tree must be *exactly* the pre-insert tree
+// or exactly the post-insert tree — nothing in between.
+func TestRootSwapAtomicity(t *testing.T) {
+	for fail := int64(0); ; fail++ {
+		tr, err := New(Options{ArenaSize: 64 << 20, Tracking: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		pre := []string{"cowA", "cowB", "cowAB", "co", "dz"}
+		for _, k := range pre {
+			if err := tr.Put([]byte(k), []byte("pre")); err != nil {
+				t.Fatal(err)
+			}
+		}
+		tr.Arena().FailAfterPersists(fail)
+		crashed := false
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					if _, ok := r.(pmem.CrashError); !ok {
+						panic(r)
+					}
+					crashed = true
+				}
+			}()
+			if err := tr.Put([]byte("cowNEW"), []byte("new")); err != nil {
+				t.Fatal(err)
+			}
+		}()
+		tr.Arena().DisarmCrash()
+		if !crashed {
+			if fail == 0 {
+				t.Fatal("CoW insert performed no persists")
+			}
+			return
+		}
+		img, err := tr.Arena().Crash(pmem.Config{Tracking: true}, pmem.CrashOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr2, err := Open(img)
+		if err != nil {
+			t.Fatalf("fail=%d: %v", fail, err)
+		}
+		for _, k := range pre {
+			if v, ok := tr2.Get([]byte(k)); !ok || string(v) != "pre" {
+				t.Fatalf("fail=%d: committed key %q = (%q,%v)", fail, k, v, ok)
+			}
+		}
+		_, newOK := tr2.Get([]byte("cowNEW"))
+		if newOK != (tr2.Len() == len(pre)+1) {
+			t.Fatalf("fail=%d: size/content mismatch", fail)
+		}
+		if err := tr2.Check(); err != nil {
+			t.Fatalf("fail=%d: %v", fail, err)
+		}
+	}
+}
+
+// TestSharedSubtreesNotFreed: after a CoW mutation, records in untouched
+// subtrees remain intact (they are shared, not copied, and must not be
+// freed).
+func TestSharedSubtreesNotFreed(t *testing.T) {
+	tr, err := New(Options{ArenaSize: 64 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2000; i++ {
+		if err := tr.Put([]byte(fmt.Sprintf("sh%06d", i)), []byte(fmt.Sprintf("%08d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Heavy churn in one subtree.
+	for r := 0; r < 5; r++ {
+		for i := 0; i < 200; i++ {
+			k := []byte(fmt.Sprintf("zz%04d", i))
+			if err := tr.Put(k, []byte("churn")); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for i := 0; i < 200; i++ {
+			if err := tr.Delete([]byte(fmt.Sprintf("zz%04d", i))); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	for i := 0; i < 2000; i++ {
+		v, ok := tr.Get([]byte(fmt.Sprintf("sh%06d", i)))
+		if !ok || string(v) != fmt.Sprintf("%08d", i) {
+			t.Fatalf("shared record sh%06d damaged: (%q,%v)", i, v, ok)
+		}
+	}
+	if err := tr.Check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCoWReusesFreedNodes: path copies recycle replaced nodes through the
+// free lists, keeping arena growth bounded under churn.
+func TestCoWReusesFreedNodes(t *testing.T) {
+	tr, err := New(Options{ArenaSize: 64 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 500; i++ {
+		if err := tr.Put([]byte(fmt.Sprintf("re%05d", i)), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	base := tr.Arena().Reserved()
+	for r := 0; r < 10; r++ {
+		for i := 0; i < 100; i++ {
+			if err := tr.Update([]byte(fmt.Sprintf("re%05d", i)), []byte("u")); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if after := tr.Arena().Reserved(); after > base+(64<<10) {
+		t.Fatalf("updates grew arena %d -> %d; free lists unused", base, after)
+	}
+}

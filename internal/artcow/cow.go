@@ -1,0 +1,220 @@
+package artcow
+
+import (
+	"github.com/casl-sdsu/hart/internal/pmart"
+	"github.com/casl-sdsu/hart/internal/pmem"
+)
+
+// Put implements kv.Index by copying the touched root-to-leaf path and
+// publishing it with one atomic root swap.
+func (t *Tree) Put(key, value []byte) error {
+	if err := validate(key, value, true); err != nil {
+		return err
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+
+	// In-place value update of an existing key needs no structural CoW
+	// (same mechanism as WOART/HART, per the paper's update experiment).
+	if leaf := pmart.Lookup(t.arena, t.root(), key); !leaf.IsNil() {
+		return t.updateLeaf(leaf, value)
+	}
+
+	var freed []freedBlock
+	newRoot, err := t.copyInsert(t.root(), pmart.Terminated(key), 0, key, value, &freed)
+	if err != nil {
+		return err
+	}
+	t.publish(newRoot, freed)
+	t.size++
+	return nil
+}
+
+// commonPrefixLen returns the longest common prefix length of a and b.
+func commonPrefixLen(a, b []byte) int {
+	n := min(len(a), len(b))
+	i := 0
+	for i < n && a[i] == b[i] {
+		i++
+	}
+	return i
+}
+
+// copyInsert returns a fresh subtree equal to the subtree at n plus key,
+// sharing every untouched child. Replaced nodes are appended to freed.
+func (t *Tree) copyInsert(n pmem.Ptr, tk []byte, depth int, key, value []byte, freed *[]freedBlock) (pmem.Ptr, error) {
+	if n.IsNil() {
+		w, err := t.newValue(value)
+		if err != nil {
+			return pmem.Nil, err
+		}
+		leaf, err := pmart.BuildLeaf(t.arena, t.na, key, w)
+		if err != nil {
+			return pmem.Nil, err
+		}
+		return pmart.TagLeaf(leaf), nil
+	}
+
+	if pmart.IsLeaf(n) {
+		// The caller already handled exact matches; this is a split. The
+		// existing leaf is shared, not copied.
+		lk := pmart.Terminated(pmart.LeafKeyBytes(t.arena, pmart.Untag(n)))
+		cp := commonPrefixLen(lk[depth:], tk[depth:])
+		w, err := t.newValue(value)
+		if err != nil {
+			return pmem.Nil, err
+		}
+		newLeaf, err := pmart.BuildLeaf(t.arena, t.na, key, w)
+		if err != nil {
+			return pmem.Nil, err
+		}
+		return pmart.BuildNode(t.arena, t.na, pmart.TypeNode4, tk[depth:depth+cp], []pmart.Edge{
+			{Byte: lk[depth+cp], Child: n},
+			{Byte: tk[depth+cp], Child: pmart.TagLeaf(newLeaf)},
+		})
+	}
+
+	typ := pmart.NodeType(t.arena, n)
+	prefix := pmart.FullPrefix(t.arena, n, depth)
+	rest := tk[depth:]
+	cp := commonPrefixLen(prefix, rest)
+	if cp < len(prefix) {
+		// Diverge inside the compressed path: clone n with the shortened
+		// prefix and hang both under a fresh NODE4.
+		clone, err := pmart.BuildNode(t.arena, t.na, typ, prefix[cp+1:], pmart.Edges(t.arena, n))
+		if err != nil {
+			return pmem.Nil, err
+		}
+		*freed = append(*freed, freedBlock{n, pmart.SizeOf(typ)})
+		w, err := t.newValue(value)
+		if err != nil {
+			return pmem.Nil, err
+		}
+		newLeaf, err := pmart.BuildLeaf(t.arena, t.na, key, w)
+		if err != nil {
+			return pmem.Nil, err
+		}
+		return pmart.BuildNode(t.arena, t.na, pmart.TypeNode4, prefix[:cp], []pmart.Edge{
+			{Byte: prefix[cp], Child: clone},
+			{Byte: rest[cp], Child: pmart.TagLeaf(newLeaf)},
+		})
+	}
+	depth += len(prefix)
+
+	b := tk[depth]
+	_, child := pmart.FindChild(t.arena, n, b)
+	var newChild pmem.Ptr
+	var err error
+	if child.IsNil() {
+		newChild, err = t.copyInsert(pmem.Nil, tk, depth+1, key, value, freed)
+	} else {
+		newChild, err = t.copyInsert(child, tk, depth+1, key, value, freed)
+	}
+	if err != nil {
+		return pmem.Nil, err
+	}
+
+	// Clone n with the edge replaced or added (growing as needed).
+	edges := pmart.Edges(t.arena, n)
+	replaced := false
+	for i := range edges {
+		if edges[i].Byte == b {
+			edges[i].Child = newChild
+			replaced = true
+			break
+		}
+	}
+	if !replaced {
+		edges = append(edges, pmart.Edge{Byte: b, Child: newChild})
+	}
+	*freed = append(*freed, freedBlock{n, pmart.SizeOf(typ)})
+	return pmart.BuildNode(t.arena, t.na, typ, prefix, edges)
+}
+
+// Delete implements kv.Index via path copying.
+func (t *Tree) Delete(key []byte) error {
+	if err := validate(key, nil, false); err != nil {
+		return err
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if pmart.Lookup(t.arena, t.root(), key).IsNil() {
+		return ErrNotFound
+	}
+	var freed []freedBlock
+	newRoot, err := t.copyRemove(t.root(), pmart.Terminated(key), 0, key, &freed)
+	if err != nil {
+		return err
+	}
+	t.publish(newRoot, freed)
+	t.size--
+	return nil
+}
+
+// copyRemove returns a fresh subtree equal to the subtree at n minus key.
+// The caller guarantees key is present.
+func (t *Tree) copyRemove(n pmem.Ptr, tk []byte, depth int, key []byte, freed *[]freedBlock) (pmem.Ptr, error) {
+	if pmart.IsLeaf(n) {
+		leaf := pmart.Untag(n)
+		if vp, vn := pmart.UnpackValue(t.arena.Read8(leaf + pmart.LeafValueWord)); !vp.IsNil() {
+			*freed = append(*freed, freedBlock{vp, valueSize(vn)})
+		}
+		*freed = append(*freed, freedBlock{leaf, pmart.LeafSize})
+		return pmem.Nil, nil
+	}
+
+	typ := pmart.NodeType(t.arena, n)
+	prefix := pmart.FullPrefix(t.arena, n, depth)
+	depth += len(prefix)
+	b := tk[depth]
+	_, child := pmart.FindChild(t.arena, n, b)
+	newChild, err := t.copyRemove(child, tk, depth+1, key, freed)
+	if err != nil {
+		return pmem.Nil, err
+	}
+
+	edges := pmart.Edges(t.arena, n)
+	out := edges[:0]
+	for _, e := range edges {
+		if e.Byte == b {
+			if newChild.IsNil() {
+				continue
+			}
+			e.Child = newChild
+		}
+		out = append(out, e)
+	}
+	*freed = append(*freed, freedBlock{n, pmart.SizeOf(typ)})
+
+	switch len(out) {
+	case 0:
+		return pmem.Nil, nil
+	case 1:
+		e := out[0]
+		if pmart.IsLeaf(e.Child) {
+			// Collapse to the shared leaf (its key is complete).
+			return e.Child, nil
+		}
+		// Merge paths: clone the surviving child with the longer prefix.
+		ctyp := pmart.NodeType(t.arena, e.Child)
+		cPrefix := pmart.FullPrefix(t.arena, e.Child, depth+1)
+		merged := make([]byte, 0, len(prefix)+1+len(cPrefix))
+		merged = append(merged, prefix...)
+		merged = append(merged, e.Byte)
+		merged = append(merged, cPrefix...)
+		clone, err := pmart.BuildNode(t.arena, t.na, ctyp, merged, pmart.Edges(t.arena, e.Child))
+		if err != nil {
+			return pmem.Nil, err
+		}
+		*freed = append(*freed, freedBlock{e.Child, pmart.SizeOf(ctyp)})
+		return clone, nil
+	}
+
+	// Rebuild at the smallest kind that fits (shrink falls out of CoW for
+	// free: BuildNode raises the kind as needed).
+	newTyp := typ
+	if smaller, threshold := pmart.ShrunkType(typ); threshold > 0 && len(out) <= threshold {
+		newTyp = smaller
+	}
+	return pmart.BuildNode(t.arena, t.na, newTyp, prefix, out)
+}

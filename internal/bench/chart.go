@@ -1,0 +1,111 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// FprintCharts renders the report as ASCII bar charts, one chart per
+// figure, mirroring the paper's grouped-bar presentation so shapes can be
+// eyeballed directly in a terminal.
+func (r Report) FprintCharts(w io.Writer) {
+	byFig := map[string]Report{}
+	var figs []string
+	for _, row := range r {
+		if _, ok := byFig[row.Figure]; !ok {
+			figs = append(figs, row.Figure)
+		}
+		byFig[row.Figure] = append(byFig[row.Figure], row)
+	}
+	for _, fig := range figs {
+		rows := byFig[fig]
+		fmt.Fprintf(w, "\nFigure %s — %s\n", fig, chartTitle(rows))
+		switch {
+		case rows[0].MIOPS > 0:
+			barChart(w, rows, func(r Row) (string, float64) {
+				return fmt.Sprintf("%-7s %2d thr", r.Op, r.Threads), r.MIOPS
+			}, "MIOPS", false)
+		case rows[0].PMBytes > 0 || rows[0].DRAMBytes > 0:
+			var mem Report
+			for _, row := range rows {
+				pm, dram := row, row
+				pm.Tree += " PM"
+				pm.NsPerOp = float64(row.PMBytes) / (1 << 20)
+				dram.Tree += " DRAM"
+				dram.NsPerOp = float64(row.DRAMBytes) / (1 << 20)
+				mem = append(mem, pm, dram)
+			}
+			barChart(w, mem, func(r Row) (string, float64) {
+				return r.Tree, r.NsPerOp
+			}, "MB", false)
+		case rows[0].TotalSec > 0:
+			barChart(w, rows, func(r Row) (string, float64) {
+				return fmt.Sprintf("%-8s %-8s n=%d", r.Tree, r.Op, r.Records), r.TotalSec
+			}, "s", true)
+		default:
+			barChart(w, rows, func(r Row) (string, float64) {
+				return fmt.Sprintf("%-11s %-8s %-9s", r.Workload, r.Latency, r.Tree), r.NsPerOp / 1000
+			}, "us/op", true)
+		}
+	}
+}
+
+// chartTitle summarises a figure's rows.
+func chartTitle(rows Report) string {
+	ops := map[string]bool{}
+	for _, r := range rows {
+		if r.Op != "" {
+			ops[r.Op] = true
+		}
+	}
+	var list []string
+	for op := range ops {
+		list = append(list, op)
+	}
+	if len(list) == 1 {
+		return list[0]
+	}
+	return fmt.Sprintf("%d series", len(rows))
+}
+
+// barChart prints one labelled horizontal bar per row, scaled to the
+// figure's maximum. lowerIsBetter marks the minimum with a star.
+func barChart(w io.Writer, rows Report, kv func(Row) (string, float64), unit string, lowerIsBetter bool) {
+	const width = 42
+	maxV, minV := 0.0, -1.0
+	type item struct {
+		label string
+		v     float64
+	}
+	items := make([]item, 0, len(rows))
+	labelW := 0
+	for _, r := range rows {
+		label, v := kv(r)
+		items = append(items, item{label, v})
+		if v > maxV {
+			maxV = v
+		}
+		if minV < 0 || v < minV {
+			minV = v
+		}
+		if len(label) > labelW {
+			labelW = len(label)
+		}
+	}
+	if maxV <= 0 {
+		return
+	}
+	for _, it := range items {
+		n := int(it.v / maxV * width)
+		if n < 1 && it.v > 0 {
+			n = 1
+		}
+		marker := " "
+		if lowerIsBetter && it.v == minV {
+			marker = "*"
+		}
+		fmt.Fprintf(w, "  %-*s %s%-*s %8.3f %s\n",
+			labelW, it.label, marker, width, strings.Repeat("#", n), it.v, unit)
+	}
+}

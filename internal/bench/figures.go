@@ -1,0 +1,487 @@
+package bench
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/casl-sdsu/hart/internal/core"
+	"github.com/casl-sdsu/hart/internal/kv"
+	"github.com/casl-sdsu/hart/internal/latency"
+	"github.com/casl-sdsu/hart/internal/workload"
+)
+
+// figLetter maps workloads to the paper's sub-figure letters.
+var figLetter = map[string]string{"Dictionary": "a", "Sequential": "b", "Random": "c"}
+
+// preload fills ix with keys; values come from the config's generator.
+func preload(c Config, ix kv.Index, keys [][]byte) error {
+	vals := workload.Values(1, c.ValueSize, c.Seed+7)
+	v := vals[0]
+	for _, k := range keys {
+		if err := ix.Put(k, v); err != nil {
+			return fmt.Errorf("preload %s: %w", ix.Name(), err)
+		}
+	}
+	return nil
+}
+
+// basicOpFig runs one of Figs. 4-7: every workload × latency × tree.
+func basicOpFig(c Config, fig, op string) (Report, error) {
+	var report Report
+	for _, wl := range Workloads {
+		keys := keysFor(c, wl)
+		phase := shuffled(keys, c.Seed+13)
+		newVals := workload.Values(1, c.ValueSize, c.Seed+29)
+		for _, lat := range latency.PaperConfigs() {
+			for _, tree := range c.Trees {
+				ix, err := NewIndex(tree, lat, c.Mode, len(keys)+1)
+				if err != nil {
+					return nil, err
+				}
+				var d time.Duration
+				n := len(keys)
+				switch op {
+				case "insert":
+					d = measure(ix, c.Mode, func() {
+						if err = preload(c, ix, keys); err != nil {
+							return
+						}
+					})
+				case "search":
+					if err = preload(c, ix, keys); err == nil {
+						found := 0
+						d = measure(ix, c.Mode, func() {
+							for _, k := range phase {
+								if _, ok := ix.Get(k); ok {
+									found++
+								}
+							}
+						})
+						if found != n {
+							err = fmt.Errorf("%s search found %d/%d", tree, found, n)
+						}
+					}
+				case "update":
+					if err = preload(c, ix, keys); err == nil {
+						d = measure(ix, c.Mode, func() {
+							for _, k := range phase {
+								if err = ix.Update(k, newVals[0]); err != nil {
+									return
+								}
+							}
+						})
+					}
+				case "delete":
+					if err = preload(c, ix, keys); err == nil {
+						d = measure(ix, c.Mode, func() {
+							for _, k := range phase {
+								if err = ix.Delete(k); err != nil {
+									return
+								}
+							}
+						})
+					}
+				}
+				if err != nil {
+					return nil, fmt.Errorf("fig %s %s/%s/%s: %w", fig, wl, lat.Name(), tree, err)
+				}
+				ix.Close()
+				report = append(report, Row{
+					Figure: fig + figLetter[wl], Workload: wl, Latency: lat.Name(),
+					Tree: tree, Op: op, Records: n, Threads: 1,
+					NsPerOp: float64(d.Nanoseconds()) / float64(n),
+				})
+				fmt.Fprintf(c.Out, "fig%s %-10s %-8s %-8s %-7s %9.3f us/op\n",
+					fig, wl, lat.Name(), tree, op, float64(d.Nanoseconds())/float64(n)/1000)
+			}
+		}
+	}
+	return report, nil
+}
+
+// RunFig4 reproduces Fig. 4 (insertion performance comparisons).
+func RunFig4(c Config) (Report, error) { return basicOpFig(c.WithDefaults(), "4", "insert") }
+
+// RunFig5 reproduces Fig. 5 (search performance comparisons).
+func RunFig5(c Config) (Report, error) { return basicOpFig(c.WithDefaults(), "5", "search") }
+
+// RunFig6 reproduces Fig. 6 (update performance comparisons).
+func RunFig6(c Config) (Report, error) { return basicOpFig(c.WithDefaults(), "6", "update") }
+
+// RunFig7 reproduces Fig. 7 (deletion performance comparisons).
+func RunFig7(c Config) (Report, error) { return basicOpFig(c.WithDefaults(), "7", "delete") }
+
+// RunFig8 reproduces Fig. 8: total time of the four basic operations as
+// the Random record count grows, under 300/100.
+func RunFig8(c Config) (Report, error) {
+	c = c.WithDefaults()
+	lat := latency.Config300x100()
+	var report Report
+	sub := map[string]string{"insert": "a", "search": "b", "update": "c", "delete": "d"}
+	for _, n := range c.ScaleSweep {
+		keys := workload.Random(n, c.Seed)
+		phase := shuffled(keys, c.Seed+13)
+		val := workload.Values(1, c.ValueSize, c.Seed+29)[0]
+		for _, tree := range c.Trees {
+			ix, err := NewIndex(tree, lat, c.Mode, n+1)
+			if err != nil {
+				return nil, err
+			}
+			dIns := measure(ix, c.Mode, func() { err = preload(c, ix, keys) })
+			if err != nil {
+				return nil, fmt.Errorf("fig 8 %s n=%d: %w", tree, n, err)
+			}
+			dSearch := measure(ix, c.Mode, func() {
+				for _, k := range phase {
+					ix.Get(k)
+				}
+			})
+			dUpdate := measure(ix, c.Mode, func() {
+				for _, k := range phase {
+					if err = ix.Update(k, val); err != nil {
+						return
+					}
+				}
+			})
+			dDelete := measure(ix, c.Mode, func() {
+				for _, k := range phase {
+					if err = ix.Delete(k); err != nil {
+						return
+					}
+				}
+			})
+			if err != nil {
+				return nil, fmt.Errorf("fig 8 %s n=%d: %w", tree, n, err)
+			}
+			ix.Close()
+			for op, d := range map[string]time.Duration{
+				"insert": dIns, "search": dSearch, "update": dUpdate, "delete": dDelete,
+			} {
+				report = append(report, Row{
+					Figure: "8" + sub[op], Workload: "Random", Latency: lat.Name(),
+					Tree: tree, Op: op, Records: n, Threads: 1, TotalSec: d.Seconds(),
+				})
+			}
+			fmt.Fprintf(c.Out, "fig8 n=%-9d %-8s ins %.3fs search %.3fs upd %.3fs del %.3fs\n",
+				n, tree, dIns.Seconds(), dSearch.Seconds(), dUpdate.Seconds(), dDelete.Seconds())
+		}
+	}
+	return report, nil
+}
+
+// RunFig9 reproduces Fig. 9: the three YCSB-style mixed workloads.
+func RunFig9(c Config) (Report, error) {
+	c = c.WithDefaults()
+	var report Report
+	subs := map[string]string{"Read-Intensive": "a", "Read-Modified-Write": "b", "Write-Intensive": "c"}
+	pre := workload.Random(c.Records, c.Seed)
+	fresh := workload.Random(c.MixedOps, c.Seed+101)
+	// Remove overlap between preloaded and fresh keys.
+	seen := make(map[string]bool, len(pre))
+	for _, k := range pre {
+		seen[string(k)] = true
+	}
+	uniq := fresh[:0]
+	for _, k := range fresh {
+		if !seen[string(k)] {
+			uniq = append(uniq, k)
+		}
+	}
+	fresh = uniq
+	for _, mix := range workload.Mixes() {
+		ops := mix.Generate(c.MixedOps, pre, fresh, c.ValueSize, c.Seed+3)
+		for _, lat := range latency.PaperConfigs() {
+			for _, tree := range c.Trees {
+				ix, err := NewIndex(tree, lat, c.Mode, c.Records+c.MixedOps+1)
+				if err != nil {
+					return nil, err
+				}
+				if err := preload(c, ix, pre); err != nil {
+					return nil, err
+				}
+				var opErr error
+				d := measure(ix, c.Mode, func() {
+					for _, op := range ops {
+						switch op.Kind {
+						case workload.OpInsert:
+							opErr = ix.Put(op.Key, op.Value)
+						case workload.OpSearch:
+							ix.Get(op.Key)
+						case workload.OpUpdate:
+							opErr = ix.Update(op.Key, op.Value)
+						case workload.OpDelete:
+							opErr = ix.Delete(op.Key)
+						}
+						if opErr != nil {
+							return
+						}
+					}
+				})
+				if opErr != nil {
+					return nil, fmt.Errorf("fig 9 %s/%s/%s: %w", mix.Name, lat.Name(), tree, opErr)
+				}
+				ix.Close()
+				report = append(report, Row{
+					Figure: "9" + subs[mix.Name], Workload: mix.Name, Latency: lat.Name(),
+					Tree: tree, Op: "mixed", Records: len(ops), Threads: 1,
+					NsPerOp: float64(d.Nanoseconds()) / float64(len(ops)),
+				})
+				fmt.Fprintf(c.Out, "fig9 %-20s %-8s %-8s %9.3f us/op\n",
+					mix.Name, lat.Name(), tree, float64(d.Nanoseconds())/float64(len(ops))/1000)
+			}
+		}
+	}
+	return report, nil
+}
+
+// RunFig10a reproduces Fig. 10a: range query of RangeRecords records under
+// Sequential. Following the paper, the ART-based trees answer the range
+// with one search per key while FPTree walks its linked leaves; a native
+// ordered HART scan is reported as an extra series.
+func RunFig10a(c Config) (Report, error) {
+	c = c.WithDefaults()
+	var report Report
+	keys := workload.Sequential(c.Records)
+	qn := min(c.RangeRecords, len(keys))
+	start, end := keys[0], keys[qn-1]
+	for _, lat := range latency.PaperConfigs() {
+		for _, tree := range c.Trees {
+			ix, err := NewIndex(tree, lat, c.Mode, c.Records+1)
+			if err != nil {
+				return nil, err
+			}
+			if err := preload(c, ix, keys); err != nil {
+				return nil, err
+			}
+			got := 0
+			var d time.Duration
+			if tree == "FPTree" {
+				d = measure(ix, c.Mode, func() {
+					ix.Scan(start, append(end, 0), func(k, v []byte) bool { got++; return true })
+				})
+			} else {
+				d = measure(ix, c.Mode, func() {
+					for _, k := range keys[:qn] {
+						if _, ok := ix.Get(k); ok {
+							got++
+						}
+					}
+				})
+			}
+			if got != qn {
+				return nil, fmt.Errorf("fig 10a %s: ranged %d/%d records", tree, got, qn)
+			}
+			report = append(report, Row{
+				Figure: "10a", Workload: "Sequential", Latency: lat.Name(),
+				Tree: tree, Op: "range", Records: qn, Threads: 1,
+				NsPerOp: float64(d.Nanoseconds()) / float64(qn),
+			})
+			fmt.Fprintf(c.Out, "fig10a %-8s %-8s %9.3f us/record\n",
+				lat.Name(), tree, float64(d.Nanoseconds())/float64(qn)/1000)
+			// Extra series: HART's native ordered scan (design extension).
+			if tree == "HART" {
+				got = 0
+				d = measure(ix, c.Mode, func() {
+					ix.Scan(start, append(end, 0), func(k, v []byte) bool { got++; return true })
+				})
+				if got != qn {
+					return nil, fmt.Errorf("fig 10a HART-scan: %d/%d records", got, qn)
+				}
+				report = append(report, Row{
+					Figure: "10a", Workload: "Sequential", Latency: lat.Name(),
+					Tree: "HART-scan", Op: "range", Records: qn, Threads: 1,
+					NsPerOp: float64(d.Nanoseconds()) / float64(qn),
+				})
+			}
+			ix.Close()
+		}
+	}
+	return report, nil
+}
+
+// RunFig10b reproduces Fig. 10b: PM and DRAM consumption under Sequential.
+func RunFig10b(c Config) (Report, error) {
+	c = c.WithDefaults()
+	var report Report
+	keys := workload.Sequential(c.Records)
+	for _, tree := range c.Trees {
+		ix, err := NewIndex(tree, latency.Off(), c.Mode, c.Records+1)
+		if err != nil {
+			return nil, err
+		}
+		if err := preload(c, ix, keys); err != nil {
+			return nil, err
+		}
+		si := ix.SizeInfo()
+		ix.Close()
+		report = append(report, Row{
+			Figure: "10b", Workload: "Sequential", Tree: tree, Op: "memory",
+			Records: c.Records, Threads: 1, PMBytes: si.PMBytes, DRAMBytes: si.DRAMBytes,
+		})
+		fmt.Fprintf(c.Out, "fig10b %-8s PM %8.2f MB  DRAM %8.2f MB\n",
+			tree, float64(si.PMBytes)/(1<<20), float64(si.DRAMBytes)/(1<<20))
+	}
+	return report, nil
+}
+
+// RunFig10c reproduces Fig. 10c: build time vs recovery time for the two
+// hybrid trees (HART and FPTree) under Random at 300/100.
+func RunFig10c(c Config) (Report, error) {
+	c = c.WithDefaults()
+	lat := latency.Config300x100()
+	var report Report
+	for _, n := range c.ScaleSweep {
+		keys := workload.Random(n, c.Seed)
+		for _, tree := range []string{"HART", "FPTree"} {
+			if !contains(c.Trees, tree) {
+				continue
+			}
+			ix, err := NewIndex(tree, lat, c.Mode, n+1)
+			if err != nil {
+				return nil, err
+			}
+			dBuild := measure(ix, c.Mode, func() { err = preload(c, ix, keys) })
+			if err != nil {
+				return nil, err
+			}
+			rec, ok := ix.(kv.Recoverable)
+			if !ok {
+				return nil, fmt.Errorf("fig 10c: %s is not recoverable", tree)
+			}
+			dRecover := measure(ix, c.Mode, func() { err = rec.Rebuild() })
+			if err != nil {
+				return nil, err
+			}
+			if ix.Len() != n {
+				return nil, fmt.Errorf("fig 10c %s: %d records after rebuild, want %d", tree, ix.Len(), n)
+			}
+			ix.Close()
+			report = append(report,
+				Row{Figure: "10c", Workload: "Random", Latency: lat.Name(), Tree: tree,
+					Op: "build", Records: n, Threads: 1, TotalSec: dBuild.Seconds()},
+				Row{Figure: "10c", Workload: "Random", Latency: lat.Name(), Tree: tree,
+					Op: "recovery", Records: n, Threads: 1, TotalSec: dRecover.Seconds()},
+			)
+			fmt.Fprintf(c.Out, "fig10c n=%-9d %-8s build %8.4fs recovery %8.4fs (%.1fx faster)\n",
+				n, tree, dBuild.Seconds(), dRecover.Seconds(), dBuild.Seconds()/dRecover.Seconds())
+		}
+	}
+	return report, nil
+}
+
+// RunFig10d reproduces Fig. 10d: HART MIOPS for the four basic operations
+// as the thread count grows, under Random at 300/100.
+func RunFig10d(c Config) (Report, error) {
+	c = c.WithDefaults()
+	lat := latency.Config300x100()
+	lat.Mode = c.Mode
+	var report Report
+	keys := workload.Random(c.Records, c.Seed)
+	val := workload.Values(1, c.ValueSize, c.Seed+29)[0]
+	for _, threads := range c.Threads {
+		for _, op := range []string{"insert", "search", "update", "delete"} {
+			h, err := core.New(core.Options{ArenaSize: arenaSize("HART", c.Records+1), Latency: lat,
+				UnloggedUpdates: true})
+			if err != nil {
+				return nil, err
+			}
+			if op != "insert" {
+				if err := preloadHART(h, keys, val); err != nil {
+					return nil, err
+				}
+			}
+			shards := shardKeys(keys, threads)
+			var wg sync.WaitGroup
+			errs := make([]error, threads)
+			start := time.Now()
+			for w := 0; w < threads; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					for _, k := range shards[w] {
+						switch op {
+						case "insert":
+							errs[w] = h.Put(k, val)
+						case "search":
+							h.Get(k)
+						case "update":
+							errs[w] = h.Update(k, val)
+						case "delete":
+							errs[w] = h.Delete(k)
+						}
+						if errs[w] != nil {
+							return
+						}
+					}
+				}(w)
+			}
+			wg.Wait()
+			d := time.Since(start)
+			for _, e := range errs {
+				if e != nil {
+					return nil, fmt.Errorf("fig 10d %s x%d: %w", op, threads, e)
+				}
+			}
+			h.Close()
+			miops := float64(len(keys)) / d.Seconds() / 1e6
+			report = append(report, Row{
+				Figure: "10d", Workload: "Random", Latency: lat.Name(), Tree: "HART",
+				Op: op, Records: len(keys), Threads: threads, MIOPS: miops,
+			})
+			fmt.Fprintf(c.Out, "fig10d threads=%-3d %-7s %8.3f MIOPS\n", threads, op, miops)
+		}
+	}
+	return report, nil
+}
+
+// preloadHART mirrors preload for the concrete HART type.
+func preloadHART(h *core.HART, keys [][]byte, val []byte) error {
+	for _, k := range keys {
+		if err := h.Put(k, val); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// shardKeys splits keys round-robin across n workers.
+func shardKeys(keys [][]byte, n int) [][][]byte {
+	out := make([][][]byte, n)
+	for i, k := range keys {
+		out[i%n] = append(out[i%n], k)
+	}
+	return out
+}
+
+// contains reports whether list holds s.
+func contains(list []string, s string) bool {
+	for _, x := range list {
+		if x == s {
+			return true
+		}
+	}
+	return false
+}
+
+// RunAll executes every figure and concatenates the reports.
+func RunAll(c Config) (Report, error) {
+	c = c.WithDefaults()
+	var all Report
+	runs := []struct {
+		name string
+		fn   func(Config) (Report, error)
+	}{
+		{"fig4", RunFig4}, {"fig5", RunFig5}, {"fig6", RunFig6}, {"fig7", RunFig7},
+		{"fig8", RunFig8}, {"fig9", RunFig9}, {"fig10a", RunFig10a},
+		{"fig10b", RunFig10b}, {"fig10c", RunFig10c}, {"fig10d", RunFig10d},
+	}
+	for _, r := range runs {
+		rep, err := r.fn(c)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", r.name, err)
+		}
+		all = append(all, rep...)
+	}
+	return all, nil
+}

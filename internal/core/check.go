@@ -1,0 +1,137 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+
+	"github.com/casl-sdsu/hart/internal/epalloc"
+	"github.com/casl-sdsu/hart/internal/pmem"
+)
+
+// Check is HART's fsck. It validates the allocator's invariants and the
+// cross-layer invariants between the volatile index and persistent memory:
+//
+//  1. Every committed leaf (leaf bit set) is indexed by exactly one ART
+//     under exactly its stored key, and vice versa.
+//  2. Every committed leaf references a committed value object of the
+//     class matching its value length.
+//  3. Every committed value object is referenced by exactly one committed
+//     leaf, or — transiently, after a crash between an insertion's value
+//     commit and leaf commit — by exactly one *uncommitted* leaf slot,
+//     which makes it reclaimable by the next allocation of that slot
+//     (Algorithm 2 lines 12-16). Anything else is a persistent leak.
+//
+// Check takes every shard's read lock, so it excludes writers.
+func (h *HART) Check() error {
+	if err := h.alloc.Check(); err != nil {
+		return err
+	}
+
+	// PM side: committed leaves, and the stale value references of dead
+	// leaf slots (the reclaimable set).
+	liveLeaf := make(map[pmem.Ptr]bool)
+	deadRef := make(map[pmem.Ptr]int)
+	if err := h.alloc.IterateObjects(classLeaf, func(leaf pmem.Ptr, used bool) bool {
+		if used {
+			liveLeaf[leaf] = true
+		} else if vp, _ := unpackValue(h.arena.Read8(leaf + lfPValue)); !vp.IsNil() {
+			deadRef[vp]++
+		}
+		return true
+	}); err != nil {
+		return err
+	}
+
+	// Volatile side: every tree entry must be a committed leaf whose
+	// stored key matches its position in the index.
+	h.dirMu.RLock()
+	type namedShard struct {
+		hk string
+		s  *artShard
+	}
+	shards := make([]namedShard, 0, h.dir.Len())
+	h.dir.Range(func(hk []byte, s *artShard) bool {
+		shards = append(shards, namedShard{string(hk), s})
+		return true
+	})
+	h.dirMu.RUnlock()
+
+	valueRefs := make(map[pmem.Ptr]int)
+	indexed := 0
+	for _, ns := range shards {
+		var shardErr error
+		ns.s.mu.RLock()
+		ns.s.tree.Ascend(func(artKey []byte, leafW uint64) bool {
+			leaf := pmem.Ptr(leafW)
+			indexed++
+			if !liveLeaf[leaf] {
+				shardErr = fmt.Errorf("hart: indexed leaf %d has no committed bit", leaf)
+				return false
+			}
+			delete(liveLeaf, leaf)
+			wantKey := append([]byte(ns.hk), artKey...)
+			if gotKey := h.leafKey(leaf); !bytes.Equal(gotKey, wantKey) {
+				shardErr = fmt.Errorf("hart: leaf %d stores key %q but is indexed under %q", leaf, gotKey, wantKey)
+				return false
+			}
+			vp, n := unpackValue(h.arena.Read8(leaf + lfPValue))
+			if vp.IsNil() || n < 1 || n > h.maxValueLen() {
+				shardErr = fmt.Errorf("hart: leaf %d has invalid value word (ptr=%d len=%d)", leaf, vp, n)
+				return false
+			}
+			if c, err := h.alloc.ClassOf(vp); err != nil || c != h.valueClass(n) {
+				shardErr = fmt.Errorf("hart: leaf %d value %d in class %v, want %v (err %v)",
+					leaf, vp, c, h.valueClass(n), err)
+				return false
+			}
+			if set, err := h.alloc.BitIsSet(vp); err != nil || !set {
+				shardErr = fmt.Errorf("hart: leaf %d references uncommitted value %d", leaf, vp)
+				return false
+			}
+			valueRefs[vp]++
+			return true
+		})
+		ns.s.mu.RUnlock()
+		if shardErr != nil {
+			return shardErr
+		}
+	}
+
+	for leaf := range liveLeaf {
+		return fmt.Errorf("hart: committed leaf %d (key %q) is not indexed — lost record",
+			leaf, h.leafKey(leaf))
+	}
+	if indexed != h.Len() {
+		return fmt.Errorf("hart: size counter %d but %d leaves indexed", h.Len(), indexed)
+	}
+
+	// Value-object accounting: exactly-one live reference, or reclaimable.
+	for i := range h.opts.ValueClasses {
+		c := classValue0 + epalloc.Class(i)
+		var classErr error
+		if err := h.alloc.IterateObjects(c, func(vp pmem.Ptr, used bool) bool {
+			if !used {
+				return true
+			}
+			switch refs := valueRefs[vp]; {
+			case refs == 1:
+			case refs > 1:
+				classErr = fmt.Errorf("hart: value %d referenced by %d leaves", vp, refs)
+				return false
+			case deadRef[vp] > 0:
+				// Reclaimable orphan: committed value referenced only by a
+				// dead leaf slot; the next reuse of that slot repairs it.
+			default:
+				classErr = fmt.Errorf("hart: value %d is committed but unreachable — persistent leak", vp)
+				return false
+			}
+			return true
+		}); err != nil {
+			return err
+		}
+		if classErr != nil {
+			return classErr
+		}
+	}
+	return nil
+}

@@ -1,0 +1,178 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestConcurrentWritersDistinctARTs exercises the paper's concurrency
+// model: writers on distinct hash keys (hence distinct ARTs) proceed in
+// parallel without interference.
+func TestConcurrentWritersDistinctARTs(t *testing.T) {
+	h, err := New(Options{ArenaSize: 64 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers = 8
+	const perWorker = 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			prefix := fmt.Sprintf("%c%c", 'a'+w, 'a'+w) // distinct hash key per worker
+			for i := 0; i < perWorker; i++ {
+				k := []byte(fmt.Sprintf("%s%06d", prefix, i))
+				if err := h.Put(k, []byte(fmt.Sprintf("w%dv%d", w, i))); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if h.Len() != workers*perWorker {
+		t.Fatalf("Len = %d, want %d", h.Len(), workers*perWorker)
+	}
+	for w := 0; w < workers; w++ {
+		prefix := fmt.Sprintf("%c%c", 'a'+w, 'a'+w)
+		for i := 0; i < perWorker; i += 97 {
+			k := []byte(fmt.Sprintf("%s%06d", prefix, i))
+			got, ok := h.Get(k)
+			if !ok || string(got) != fmt.Sprintf("w%dv%d", w, i) {
+				t.Fatalf("worker %d key %d: (%q,%v)", w, i, got, ok)
+			}
+		}
+	}
+	if err := h.Check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestConcurrentMixedSameART hammers one hash key with concurrent
+// readers, writers and deleters; the per-ART RWMutex must serialise them
+// without losing consistency.
+func TestConcurrentMixedSameART(t *testing.T) {
+	h, err := New(Options{ArenaSize: 64 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers = 8
+	const per = 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				k := []byte(fmt.Sprintf("zz%03d", (w*per+i)%200)) // shared ART "zz"
+				switch i % 4 {
+				case 0, 1:
+					if err := h.Put(k, []byte(fmt.Sprintf("%08d", i))); err != nil {
+						t.Error(err)
+						return
+					}
+				case 2:
+					h.Get(k)
+				case 3:
+					h.Delete(k) // ErrNotFound is fine
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if err := h.Check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestConcurrentScanDuringWrites checks that ordered scans run safely
+// against concurrent writers (they hold per-shard read locks).
+func TestConcurrentScanDuringWrites(t *testing.T) {
+	h, err := New(Options{ArenaSize: 64 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		if err := h.Put([]byte(fmt.Sprintf("sc%05d", i)), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		i := 1000
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			h.Put([]byte(fmt.Sprintf("sc%05d", i)), []byte("v"))
+			h.Delete([]byte(fmt.Sprintf("sc%05d", i-1000)))
+			i++
+		}
+	}()
+	for r := 0; r < 20; r++ {
+		prev := ""
+		n := 0
+		h.Scan(nil, nil, func(k, v []byte) bool {
+			if s := string(k); s <= prev {
+				t.Errorf("scan out of order under writes: %q after %q", s, prev)
+				return false
+			} else {
+				prev = s
+			}
+			n++
+			return true
+		})
+		if n == 0 {
+			t.Error("scan saw no records")
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if err := h.Check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestEmptyShardRemovalRace races deleters that empty an ART against
+// inserters recreating it; the dead-shard retry loop must never lose a
+// committed write.
+func TestEmptyShardRemovalRace(t *testing.T) {
+	h, err := New(Options{ArenaSize: 64 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			k := []byte("qq-contended")
+			for i := 0; i < 2000; i++ {
+				if i%2 == 0 {
+					h.Put(k, []byte{byte(w + 1)})
+				} else {
+					h.Delete(k)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	// Converge to a known state.
+	if err := h.Put([]byte("qq-contended"), []byte("done")); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := h.Get([]byte("qq-contended"))
+	if !ok || string(got) != "done" {
+		t.Fatalf("final state (%q,%v)", got, ok)
+	}
+	if err := h.Check(); err != nil {
+		t.Fatal(err)
+	}
+}

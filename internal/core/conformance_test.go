@@ -1,0 +1,21 @@
+package core_test
+
+import (
+	"testing"
+
+	"github.com/casl-sdsu/hart/internal/core"
+	"github.com/casl-sdsu/hart/internal/kv"
+	"github.com/casl-sdsu/hart/internal/kv/kvtest"
+)
+
+// TestConformance holds HART to the same behavioural battery as the three
+// baseline trees (external test package to avoid import cycles).
+func TestConformance(t *testing.T) {
+	kvtest.RunAll(t, func(t *testing.T) kv.Index {
+		h, err := core.New(core.Options{ArenaSize: 64 << 20})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return h
+	})
+}

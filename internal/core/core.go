@@ -1,0 +1,437 @@
+// Package core implements HART, the Hash-assisted Adaptive Radix Tree of
+// Pan, Xie and Song (IPDPS 2019) — a concurrent, persistent key-value
+// index for DRAM-PM hybrid memory.
+//
+// Structure (paper Fig. 1): a DRAM hash directory maps the first
+// HashKeyLen bytes of every key to one ART; the ART indexes the remaining
+// key bytes and its leaves live on PM. Internal nodes and the directory
+// are volatile and rebuilt by recovery from the persistent leaves
+// (selective consistency/persistence, Section III.A.2). PM space for
+// leaves and value objects comes from EPallocator (package epalloc), whose
+// chunk bitmaps both commit objects and prevent persistent memory leaks.
+//
+// Concurrency follows Section III.A.3: one RWMutex per ART, so writes to
+// distinct ARTs proceed in parallel and readers share each ART.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"github.com/casl-sdsu/hart/internal/art"
+	"github.com/casl-sdsu/hart/internal/cachesim"
+	"github.com/casl-sdsu/hart/internal/epalloc"
+	"github.com/casl-sdsu/hart/internal/hashdir"
+	"github.com/casl-sdsu/hart/internal/latency"
+	"github.com/casl-sdsu/hart/internal/pmem"
+)
+
+// MaxKeyLen is the maximum key length in bytes (paper Section III.A.5:
+// "The maximal key length supported by HART is 24 bytes").
+const MaxKeyLen = 24
+
+// MaxValueLen is the largest value object size under the default class
+// table; HART supports 8-byte and 16-byte value classes (Section III.A.5)
+// and is "easily extended ... by implementing more singly linked-lists of
+// value object memory chunks" — Options.ValueClasses realises exactly
+// that, growing the limit with the largest configured class.
+const MaxValueLen = 16
+
+// DefaultHashKeyLen is the paper's kh: "the hash key length is set to 2".
+const DefaultHashKeyLen = 2
+
+// Object classes within the EPallocator. Leaves are class 0; value
+// classes follow in ascending size order (classValue0 = 8 B and
+// classValue0+1 = 16 B under the default table).
+const (
+	classLeaf   epalloc.Class = 0
+	classValue0 epalloc.Class = 1
+)
+
+// Leaf node layout on PM (40 bytes, 8-aligned; paper Fig. 3 stores the
+// value out of leaf behind p_value to support variable-size values).
+//
+//	+0 pValue word (8B): bits 0-55 value-object offset, bits 56-63 value
+//	   length. Packing the length beside the pointer keeps the
+//	   pointer+length update a single failure-atomic 8-byte store.
+//	+8 keyLen (1B)
+//	+9 key (MaxKeyLen bytes)
+const (
+	leafSize    = 40
+	lfPValue    = 0
+	lfKeyLen    = 8
+	lfKey       = 9
+	ptrMask     = (uint64(1) << 56) - 1
+	valLenShift = 56
+)
+
+// packValue encodes a value pointer and its length into the pValue word.
+func packValue(p pmem.Ptr, n int) uint64 {
+	return uint64(p)&ptrMask | uint64(n)<<valLenShift
+}
+
+// unpackValue decodes a pValue word.
+func unpackValue(w uint64) (pmem.Ptr, int) {
+	return pmem.Ptr(w & ptrMask), int(w >> valLenShift)
+}
+
+// Errors returned by HART operations.
+var (
+	// ErrKeyTooLong reports a key above MaxKeyLen bytes.
+	ErrKeyTooLong = errors.New("hart: key exceeds maximum length")
+	// ErrEmptyKey reports an empty key.
+	ErrEmptyKey = errors.New("hart: empty key")
+	// ErrValueTooLong reports a value above MaxValueLen bytes.
+	ErrValueTooLong = errors.New("hart: value exceeds maximum length")
+	// ErrEmptyValue reports an empty value.
+	ErrEmptyValue = errors.New("hart: empty value")
+	// ErrNotFound reports a missing key.
+	ErrNotFound = errors.New("hart: key not found")
+	// ErrClosed reports use after Close.
+	ErrClosed = errors.New("hart: index is closed")
+)
+
+// Options configures a HART instance.
+type Options struct {
+	// HashKeyLen is kh, the number of leading key bytes consumed by the
+	// hash directory. Default DefaultHashKeyLen.
+	HashKeyLen int
+	// ArenaSize is the simulated PM capacity in bytes. Default 64 MiB.
+	ArenaSize int64
+	// Latency selects the PM latency emulation (default: off).
+	Latency latency.Config
+	// CacheModel attaches a simulated CPU cache for read-latency
+	// accounting (required for the paper's 300/300 and 600/300 read
+	// penalties to be meaningful).
+	CacheModel bool
+	// Tracking enables crash simulation on the arena (tests).
+	Tracking bool
+	// ValueClasses lists the value-object sizes in bytes, each a multiple
+	// of 8 in ascending order (default [8, 16], the paper's two classes).
+	// A value of n bytes lands in the smallest class that fits it; the
+	// largest class bounds the value length.
+	ValueClasses []int64
+	// RecoveryWorkers parallelises the Algorithm 7 rebuild across that
+	// many goroutines, partitioned by hash key (0 or 1 = the paper's
+	// serial recovery).
+	RecoveryWorkers int
+	// UnloggedUpdates selects the update mechanism the paper *measured*
+	// (Section IV.B: "a pointer to that new value is updated as the last
+	// step") instead of the full Algorithm 3 micro-log. It is roughly
+	// half the persists per update but can strand one old value object if
+	// a crash lands between the pointer swing and the old value's bit
+	// reset; the recovery orphan sweep reclaims such strays on the next
+	// restart, so the leak is bounded by one recovery period (the
+	// baselines leak the same window unboundedly). Default false:
+	// Algorithm 3, immediately leak-free.
+	UnloggedUpdates bool
+}
+
+// withDefaults fills unset fields.
+func (o Options) withDefaults() Options {
+	if o.HashKeyLen == 0 {
+		o.HashKeyLen = DefaultHashKeyLen
+	}
+	if o.ArenaSize == 0 {
+		o.ArenaSize = 64 << 20
+	}
+	if len(o.ValueClasses) == 0 {
+		o.ValueClasses = []int64{8, 16}
+	}
+	return o
+}
+
+// validateClasses rejects malformed value-class tables.
+func validateClasses(classes []int64) error {
+	for i, c := range classes {
+		if c <= 0 || c%8 != 0 {
+			return fmt.Errorf("hart: value class %d bytes is not a positive multiple of 8", c)
+		}
+		if i > 0 && c <= classes[i-1] {
+			return fmt.Errorf("hart: value classes must be strictly ascending (%d after %d)", c, classes[i-1])
+		}
+	}
+	return nil
+}
+
+// artShard is one ART plus its lock (paper Fig. 1: "a lock on each ART").
+type artShard struct {
+	mu   sync.RWMutex
+	tree *art.Tree
+	// dead marks a shard removed from the directory after its ART
+	// emptied; waiters must re-resolve through the directory.
+	dead bool
+}
+
+// HART is one Hash-assisted ART index.
+type HART struct {
+	opts  Options
+	arena *pmem.Arena
+	alloc *epalloc.Allocator
+
+	// dirMu guards dir (the paper's hash table). Lock ordering: dirMu is
+	// never held while acquiring a shard lock except in
+	// removeShardIfEmpty, which is safe because getShard never waits on a
+	// shard while holding dirMu.
+	dirMu sync.RWMutex
+	dir   *hashdir.Table[*artShard]
+
+	size   atomic.Int64
+	closed atomic.Bool
+}
+
+// classSpecs returns the allocator class table, binding the Algorithm 2
+// lines 12-16 leaf-reuse repair to h. One value class per configured
+// size, exactly the paper's "more singly linked-lists of value object
+// memory chunks" extension.
+func (h *HART) classSpecs() []epalloc.ClassSpec {
+	specs := make([]epalloc.ClassSpec, 0, 1+len(h.opts.ValueClasses))
+	specs = append(specs, epalloc.ClassSpec{Name: "leaf", ObjSize: leafSize, OnReuse: h.onLeafReuse})
+	for _, size := range h.opts.ValueClasses {
+		specs = append(specs, epalloc.ClassSpec{Name: fmt.Sprintf("value%d", size), ObjSize: size})
+	}
+	return specs
+}
+
+// maxValueLen is the largest storable value under the class table.
+func (h *HART) maxValueLen() int {
+	return int(h.opts.ValueClasses[len(h.opts.ValueClasses)-1])
+}
+
+// valueClass returns the smallest class fitting an n-byte value.
+func (h *HART) valueClass(n int) epalloc.Class {
+	for i, size := range h.opts.ValueClasses {
+		if int64(n) <= size {
+			return classValue0 + epalloc.Class(i)
+		}
+	}
+	// validate() bounds n by maxValueLen, so this is unreachable.
+	panic(fmt.Sprintf("hart: no value class for %d bytes", n))
+}
+
+// New creates a HART over a fresh simulated PM arena.
+func New(opts Options) (*HART, error) {
+	opts = opts.withDefaults()
+	if opts.HashKeyLen < 1 || opts.HashKeyLen >= MaxKeyLen {
+		return nil, fmt.Errorf("hart: invalid HashKeyLen %d", opts.HashKeyLen)
+	}
+	if err := validateClasses(opts.ValueClasses); err != nil {
+		return nil, err
+	}
+	var cache *cachesim.Cache
+	if opts.CacheModel {
+		cache = cachesim.Default()
+	}
+	arena, err := pmem.New(pmem.Config{
+		Size:     opts.ArenaSize,
+		Tracking: opts.Tracking,
+		Latency:  opts.Latency,
+		Cache:    cache,
+	})
+	if err != nil {
+		return nil, err
+	}
+	h := &HART{opts: opts, arena: arena, dir: hashdir.New[*artShard]()}
+	h.alloc, err = epalloc.New(arena, h.classSpecs())
+	if err != nil {
+		return nil, err
+	}
+	return h, nil
+}
+
+// Open attaches to an existing arena (typically one returned by
+// Arena().Crash in tests) and runs recovery: it completes interrupted
+// update logs and rebuilds the hash directory and all ART internal nodes
+// from the persistent leaves (Algorithm 7).
+func Open(arena *pmem.Arena, opts Options) (*HART, error) {
+	opts = opts.withDefaults()
+	if err := validateClasses(opts.ValueClasses); err != nil {
+		return nil, err
+	}
+	h := &HART{opts: opts, arena: arena, dir: hashdir.New[*artShard]()}
+	alloc, err := epalloc.Attach(arena, h.classSpecs())
+	if err != nil {
+		return nil, err
+	}
+	h.alloc = alloc
+	if err := h.recover(); err != nil {
+		return nil, err
+	}
+	return h, nil
+}
+
+// Arena exposes the underlying simulated PM device (stats, crash tests).
+func (h *HART) Arena() *pmem.Arena { return h.arena }
+
+// Allocator exposes the EPallocator (stats, fsck).
+func (h *HART) Allocator() *epalloc.Allocator { return h.alloc }
+
+// Options returns the instance's configuration.
+func (h *HART) Options() Options { return h.opts }
+
+// Len returns the number of stored records.
+func (h *HART) Len() int { return int(h.size.Load()) }
+
+// Close marks the index closed. The arena remains readable for tests.
+func (h *HART) Close() error {
+	h.closed.Store(true)
+	return nil
+}
+
+// splitKey divides a key into its hash key and ART key (Algorithm 1
+// line 1). Keys shorter than kh hash on their full bytes and carry an
+// empty ART key.
+func (h *HART) splitKey(key []byte) (hashKey, artKey []byte) {
+	if len(key) <= h.opts.HashKeyLen {
+		return key, nil
+	}
+	return key[:h.opts.HashKeyLen], key[h.opts.HashKeyLen:]
+}
+
+// validate rejects out-of-range keys and values.
+func (h *HART) validate(key, value []byte) error {
+	if h.closed.Load() {
+		return ErrClosed
+	}
+	if len(key) == 0 {
+		return ErrEmptyKey
+	}
+	if len(key) > MaxKeyLen {
+		return fmt.Errorf("%w: %d > %d", ErrKeyTooLong, len(key), MaxKeyLen)
+	}
+	if value != nil {
+		if maxLen := h.maxValueLen(); len(value) > maxLen {
+			return fmt.Errorf("%w: %d > %d", ErrValueTooLong, len(value), maxLen)
+		}
+	}
+	return nil
+}
+
+// validateWrite additionally requires a non-empty value.
+func (h *HART) validateWrite(key, value []byte) error {
+	if err := h.validate(key, value); err != nil {
+		return err
+	}
+	if len(value) == 0 {
+		return ErrEmptyValue
+	}
+	return nil
+}
+
+// getShard returns the shard for hashKey, optionally creating it
+// (HashInsert, Algorithm 1 lines 3-5). The returned shard is unlocked; a
+// caller that locks it must re-check shard.dead and retry, since an
+// emptied shard may have been removed from the directory meanwhile.
+func (h *HART) getShard(hashKey []byte, create bool) *artShard {
+	h.dirMu.RLock()
+	s, ok := h.dir.Get(hashKey)
+	h.dirMu.RUnlock()
+	if ok || !create {
+		return s
+	}
+	h.dirMu.Lock()
+	defer h.dirMu.Unlock()
+	if s, ok = h.dir.Get(hashKey); ok {
+		return s
+	}
+	s = &artShard{tree: art.New()}
+	h.dir.Put(hashKey, s)
+	return s
+}
+
+// lockShardW locates and write-locks the shard for hashKey, handling the
+// removed-shard race. Returns nil (no shard) when create is false and the
+// hash key is absent.
+func (h *HART) lockShardW(hashKey []byte, create bool) *artShard {
+	for {
+		s := h.getShard(hashKey, create)
+		if s == nil {
+			return nil
+		}
+		s.mu.Lock()
+		if !s.dead {
+			return s
+		}
+		s.mu.Unlock()
+	}
+}
+
+// lockShardR locates and read-locks the shard for hashKey.
+func (h *HART) lockShardR(hashKey []byte) *artShard {
+	for {
+		s := h.getShard(hashKey, false)
+		if s == nil {
+			return nil
+		}
+		s.mu.RLock()
+		if !s.dead {
+			return s
+		}
+		s.mu.RUnlock()
+	}
+}
+
+// removeShardIfEmpty frees an ART whose last record was deleted
+// (Algorithm 5 lines 15-16). Caller holds s.mu.
+func (h *HART) removeShardIfEmpty(hashKey []byte, s *artShard) {
+	if !s.tree.Empty() {
+		return
+	}
+	s.dead = true
+	h.dirMu.Lock()
+	defer h.dirMu.Unlock()
+	h.dir.Delete(hashKey)
+}
+
+// NumARTs returns the number of live ARTs (the paper's maximum write
+// concurrency).
+func (h *HART) NumARTs() int {
+	h.dirMu.RLock()
+	defer h.dirMu.RUnlock()
+	return h.dir.Len()
+}
+
+// leafKey reads the full key stored in a leaf.
+func (h *HART) leafKey(leaf pmem.Ptr) []byte {
+	n := int(h.arena.Read1(leaf + lfKeyLen))
+	if n > MaxKeyLen {
+		n = MaxKeyLen
+	}
+	key := make([]byte, n)
+	h.arena.ReadAt(leaf+lfKey, key)
+	return key
+}
+
+// leafValue reads the value referenced by a leaf.
+func (h *HART) leafValue(leaf pmem.Ptr) []byte {
+	vp, n := unpackValue(h.arena.Read8(leaf + lfPValue))
+	if vp.IsNil() || n == 0 || n > h.maxValueLen() {
+		return nil
+	}
+	v := make([]byte, n)
+	h.arena.ReadAt(vp, v)
+	return v
+}
+
+// onLeafReuse is the Algorithm 2 lines 12-16 repair hook: when a leaf slot
+// is handed out and its stale p_value still references a committed value
+// object, the crash happened between value-bit set and leaf-bit set of a
+// previous insertion (or between the bit resets of a deletion); the value
+// is unreachable and must be reclaimed before the slot is reused.
+func (h *HART) onLeafReuse(leaf pmem.Ptr) {
+	w := h.arena.Read8(leaf + lfPValue)
+	vp, _ := unpackValue(w)
+	if vp.IsNil() {
+		return
+	}
+	set, err := h.alloc.BitIsSet(vp)
+	if err == nil && set {
+		if err := h.alloc.ResetBit(vp); err == nil {
+			_ = h.alloc.RecycleIfPresent(vp)
+		}
+	}
+	h.arena.Write8(leaf+lfPValue, 0)
+	h.arena.Persist(leaf+lfPValue, 8)
+}

@@ -1,0 +1,374 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/casl-sdsu/hart/internal/pmem"
+)
+
+// crashHarness drives one operation into an injected crash at persist
+// boundary `fail`, recovers a new HART from the durable image, and returns
+// it. ok=false means the operation completed before reaching the boundary
+// (the sweep is done).
+func crashHarness(t *testing.T, fail int64, setup func(h *HART), op func(h *HART)) (*HART, bool) {
+	t.Helper()
+	h, err := New(Options{ArenaSize: 16 << 20, Tracking: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	setup(h)
+	h.Arena().FailAfterPersists(fail)
+	crashed := false
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				if _, isCrash := r.(pmem.CrashError); !isCrash {
+					panic(r)
+				}
+				crashed = true
+			}
+		}()
+		op(h)
+	}()
+	h.Arena().DisarmCrash()
+	if !crashed {
+		return nil, false
+	}
+	img, err := h.Arena().Crash(pmem.Config{Tracking: true}, pmem.CrashOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, err := Open(img, Options{})
+	if err != nil {
+		t.Fatalf("fail=%d: recovery failed: %v", fail, err)
+	}
+	return h2, true
+}
+
+// TestCrashDuringInsertEveryPersist verifies Algorithm 1's failure
+// atomicity: at every persist boundary of an insert, recovery yields
+// either "key absent" (and no leak) or "key present with the new value".
+// Pre-existing records are never damaged.
+func TestCrashDuringInsertEveryPersist(t *testing.T) {
+	setup := func(h *HART) {
+		for i := 0; i < 10; i++ {
+			if err := h.Put([]byte(fmt.Sprintf("pre%03d", i)), []byte("stable")); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	points := 0
+	for fail := int64(0); ; fail++ {
+		h2, crashed := crashHarness(t, fail, setup, func(h *HART) {
+			if err := h.Put([]byte("victim"), []byte("vnew")); err != nil {
+				t.Fatal(err)
+			}
+		})
+		if !crashed {
+			break
+		}
+		points++
+		for i := 0; i < 10; i++ {
+			got, ok := h2.Get([]byte(fmt.Sprintf("pre%03d", i)))
+			if !ok || string(got) != "stable" {
+				t.Fatalf("fail=%d: pre-existing record damaged: (%q,%v)", fail, got, ok)
+			}
+		}
+		if got, ok := h2.Get([]byte("victim")); ok && string(got) != "vnew" {
+			t.Fatalf("fail=%d: torn insert visible: %q", fail, got)
+		}
+		if err := h2.Check(); err != nil {
+			t.Fatalf("fail=%d: fsck after insert crash: %v", fail, err)
+		}
+		// The index must remain fully writable; in particular, reusing the
+		// in-limbo leaf slot must reclaim any orphaned value (Alg. 2).
+		for i := 0; i < 60; i++ {
+			if err := h2.Put([]byte(fmt.Sprintf("post%03d", i)), []byte("p")); err != nil {
+				t.Fatalf("fail=%d: post-crash put: %v", fail, err)
+			}
+		}
+		if err := h2.Check(); err != nil {
+			t.Fatalf("fail=%d: fsck after refill: %v", fail, err)
+		}
+	}
+	if points < 5 {
+		t.Fatalf("insert exercised only %d crash points; expected several persists", points)
+	}
+}
+
+// TestCrashDuringUpdateEveryPersist verifies Algorithm 3: after a crash at
+// any persist boundary of an update, recovery leaves the key mapped to
+// either the old or the new value, with no leak and no torn state.
+func TestCrashDuringUpdateEveryPersist(t *testing.T) {
+	setup := func(h *HART) {
+		if err := h.Put([]byte("upkey"), []byte("oldval")); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 5; i++ {
+			if err := h.Put([]byte(fmt.Sprintf("other%d", i)), []byte("keep")); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	points := 0
+	for fail := int64(0); ; fail++ {
+		h2, crashed := crashHarness(t, fail, setup, func(h *HART) {
+			if err := h.Update([]byte("upkey"), []byte("newval")); err != nil {
+				t.Fatal(err)
+			}
+		})
+		if !crashed {
+			break
+		}
+		points++
+		got, ok := h2.Get([]byte("upkey"))
+		if !ok {
+			t.Fatalf("fail=%d: key vanished during update", fail)
+		}
+		if s := string(got); s != "oldval" && s != "newval" {
+			t.Fatalf("fail=%d: torn update value %q", fail, s)
+		}
+		if err := h2.Check(); err != nil {
+			t.Fatalf("fail=%d: fsck after update crash: %v", fail, err)
+		}
+		// Updating again post-recovery must work and converge.
+		if err := h2.Update([]byte("upkey"), []byte("final!")); err != nil {
+			t.Fatalf("fail=%d: post-crash update: %v", fail, err)
+		}
+		if got, _ := h2.Get([]byte("upkey")); string(got) != "final!" {
+			t.Fatalf("fail=%d: post-crash update lost: %q", fail, got)
+		}
+		if err := h2.Check(); err != nil {
+			t.Fatalf("fail=%d: fsck after post-crash update: %v", fail, err)
+		}
+	}
+	if points < 5 {
+		t.Fatalf("update exercised only %d crash points", points)
+	}
+}
+
+// TestCrashDuringDeleteEveryPersist verifies Algorithm 5: a crash during
+// deletion leaves the key either present with its value or fully absent;
+// a half-deleted leaf (leaf bit cleared, value bit still set) must be
+// repaired by subsequent allocations, not leaked.
+func TestCrashDuringDeleteEveryPersist(t *testing.T) {
+	setup := func(h *HART) {
+		for i := 0; i < 8; i++ {
+			if err := h.Put([]byte(fmt.Sprintf("del%03d", i)), []byte("dv")); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	points := 0
+	for fail := int64(0); ; fail++ {
+		h2, crashed := crashHarness(t, fail, setup, func(h *HART) {
+			if err := h.Delete([]byte("del003")); err != nil {
+				t.Fatal(err)
+			}
+		})
+		if !crashed {
+			break
+		}
+		points++
+		if got, ok := h2.Get([]byte("del003")); ok && string(got) != "dv" {
+			t.Fatalf("fail=%d: half-deleted key visible with value %q", fail, got)
+		}
+		for i := 0; i < 8; i++ {
+			if i == 3 {
+				continue
+			}
+			if got, ok := h2.Get([]byte(fmt.Sprintf("del%03d", i))); !ok || string(got) != "dv" {
+				t.Fatalf("fail=%d: sibling del%03d damaged", fail, i)
+			}
+		}
+		if err := h2.Check(); err != nil {
+			t.Fatalf("fail=%d: fsck after delete crash: %v", fail, err)
+		}
+		// Fill enough records to force reuse of the victim slot; the
+		// orphaned value (if any) must be reclaimed.
+		for i := 0; i < 60; i++ {
+			if err := h2.Put([]byte(fmt.Sprintf("re%04d", i)), []byte("r")); err != nil {
+				t.Fatalf("fail=%d: refill: %v", fail, err)
+			}
+		}
+		if err := h2.Check(); err != nil {
+			t.Fatalf("fail=%d: fsck after refill: %v", fail, err)
+		}
+	}
+	// Deleting one of several records in shared chunks performs exactly
+	// two persists (leaf-bit reset, value-bit reset); both boundaries must
+	// have been exercised.
+	if points < 2 {
+		t.Fatalf("delete exercised only %d crash points", points)
+	}
+}
+
+// TestCrashDuringMixedWorkload crashes a random operation stream at many
+// different persist counts and checks global consistency: every committed
+// record readable, no leaks, allocator sane.
+func TestCrashDuringMixedWorkload(t *testing.T) {
+	for _, fail := range []int64{1, 3, 7, 17, 41, 97, 211, 499, 997, 1777} {
+		committed := map[string]string{}
+		mayExist := map[string]bool{}
+		h, err := New(Options{ArenaSize: 16 << 20, Tracking: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		h.Arena().FailAfterPersists(fail)
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					if _, isCrash := r.(pmem.CrashError); !isCrash {
+						panic(r)
+					}
+				}
+			}()
+			seed := uint64(fail) + 1
+			for i := 0; ; i++ {
+				seed = seed*6364136223846793005 + 1442695040888963407
+				k := fmt.Sprintf("%c%c%04d", 'a'+byte(seed>>8%4), 'a'+byte(seed>>16%4), (seed>>24)%500)
+				v := fmt.Sprintf("v%06d", i)
+				// The op below may crash mid-flight: record intent first.
+				switch {
+				case i%5 == 4:
+					mayExist[k] = true // deletion in flight: may or may not survive
+					if err := h.Delete([]byte(k)); err == nil {
+						delete(committed, k)
+					}
+					delete(mayExist, k)
+				default:
+					mayExist[k] = true
+					if err := h.Put([]byte(k), []byte(v)); err != nil {
+						t.Error(err)
+						return
+					}
+					committed[k] = v
+					delete(mayExist, k)
+				}
+			}
+		}()
+		h.Arena().DisarmCrash()
+		img, err := h.Arena().Crash(pmem.Config{Tracking: true}, pmem.CrashOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		h2, err := Open(img, Options{})
+		if err != nil {
+			t.Fatalf("fail=%d: recovery: %v", fail, err)
+		}
+		if err := h2.Check(); err != nil {
+			t.Fatalf("fail=%d: fsck: %v", fail, err)
+		}
+		for k, v := range committed {
+			if mayExist[k] {
+				continue // the in-flight op targeted this key
+			}
+			got, ok := h2.Get([]byte(k))
+			if !ok || string(got) != v {
+				// One subtlety: the crashed op may have been an update of k
+				// committed at the tree level... but committed[] was only
+				// set after Put returned, so this is a real loss.
+				t.Fatalf("fail=%d: committed key %q = (%q,%v), want %q", fail, k, got, ok, v)
+			}
+		}
+	}
+}
+
+// TestCrashDuringUnloggedUpdateEveryPersist exercises the paper's
+// measured update path (Section IV.B): the pointer swing is atomic, so
+// the key always reads old-or-new; any stranded value object must be
+// reclaimed by the recovery orphan sweep so the recovered store is
+// leak-free.
+func TestCrashDuringUnloggedUpdateEveryPersist(t *testing.T) {
+	opts := Options{ArenaSize: 16 << 20, Tracking: true, UnloggedUpdates: true}
+	points := 0
+	for fail := int64(0); ; fail++ {
+		h, err := New(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := h.Put([]byte("unlog"), []byte("oldval")); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 5; i++ {
+			if err := h.Put([]byte(fmt.Sprintf("ul%d", i)), []byte("keep")); err != nil {
+				t.Fatal(err)
+			}
+		}
+		h.Arena().FailAfterPersists(fail)
+		crashed := false
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					if _, ok := r.(pmem.CrashError); !ok {
+						panic(r)
+					}
+					crashed = true
+				}
+			}()
+			if err := h.Update([]byte("unlog"), []byte("newval")); err != nil {
+				t.Fatal(err)
+			}
+		}()
+		h.Arena().DisarmCrash()
+		if !crashed {
+			break
+		}
+		points++
+		img, err := h.Arena().Crash(pmem.Config{Tracking: true}, pmem.CrashOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		h2, err := Open(img, opts)
+		if err != nil {
+			t.Fatalf("fail=%d: %v", fail, err)
+		}
+		got, ok := h2.Get([]byte("unlog"))
+		if !ok {
+			t.Fatalf("fail=%d: key vanished", fail)
+		}
+		if s := string(got); s != "oldval" && s != "newval" {
+			t.Fatalf("fail=%d: torn unlogged update: %q", fail, s)
+		}
+		// The orphan sweep must leave the store leak-free immediately.
+		if err := h2.Check(); err != nil {
+			t.Fatalf("fail=%d: fsck after unlogged-update crash: %v", fail, err)
+		}
+	}
+	// Unlogged updates do 4 persists (value, value bit, swing, old reset);
+	// with allocator-internal persists the sweep must cover at least 4.
+	if points < 4 {
+		t.Fatalf("unlogged update exercised only %d crash points", points)
+	}
+}
+
+// TestUnloggedUpdateFasterPersistCount verifies the headline difference
+// between the two update modes: the unlogged path persists roughly half
+// as often.
+func TestUnloggedUpdateFasterPersistCount(t *testing.T) {
+	count := func(unlogged bool) int64 {
+		h, err := New(Options{ArenaSize: 16 << 20, UnloggedUpdates: unlogged})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := h.Put([]byte("pc"), []byte("v0")); err != nil {
+			t.Fatal(err)
+		}
+		before := h.Arena().Persists()
+		const n = 100
+		for i := 0; i < n; i++ {
+			if err := h.Update([]byte("pc"), []byte("v1")); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return (h.Arena().Persists() - before) / n
+	}
+	logged, unlogged := count(false), count(true)
+	if unlogged >= logged {
+		t.Fatalf("unlogged updates persist %d/op, logged %d/op — no saving", unlogged, logged)
+	}
+	if logged < 6 || unlogged > 5 {
+		t.Fatalf("persist counts off: logged %d/op (want >= 6), unlogged %d/op (want <= 5)", logged, unlogged)
+	}
+}

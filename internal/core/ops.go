@@ -1,0 +1,278 @@
+package core
+
+import (
+	"bytes"
+
+	"github.com/casl-sdsu/hart/internal/pmem"
+)
+
+// Put inserts or updates a record (Algorithm 1). Values are 1 to
+// MaxValueLen bytes; key and value slices are copied.
+func (h *HART) Put(key, value []byte) error {
+	if err := h.validateWrite(key, value); err != nil {
+		return err
+	}
+	hashKey, artKey := h.splitKey(key)
+	s := h.lockShardW(hashKey, true) // lines 2-5: HashFind / NewART / HashInsert
+	defer s.mu.Unlock()
+
+	if leafW, found := s.tree.Get(artKey); found { // line 6: SearchNode
+		return h.update(pmem.Ptr(leafW), value) // lines 7-8
+	}
+	return h.insertNew(s, artKey, key, value) // lines 9-18
+}
+
+// insertNew performs Algorithm 1 lines 9-18 under the shard write lock.
+func (h *HART) insertNew(s *artShard, artKey, key, value []byte) error {
+	leaf, err := h.alloc.Alloc(classLeaf) // line 10 (OnReuse repair may run)
+	if err != nil {
+		return err
+	}
+	val, err := h.alloc.Alloc(h.valueClass(len(value))) // line 11
+	if err != nil {
+		h.alloc.Abort(leaf)
+		return err
+	}
+
+	// Line 12: value = V; persistent(value).
+	h.arena.WriteAt(val, value)
+	h.arena.Persist(val, len(value))
+
+	// Line 13: leaf.p_value = &value; persistent(leaf.p_value).
+	h.arena.Write8(leaf+lfPValue, packValue(val, len(value)))
+	h.arena.Persist(leaf+lfPValue, 8)
+
+	// Line 14: set and persist the value bit.
+	if err := h.alloc.SetBit(val); err != nil {
+		return err
+	}
+
+	// Line 15: leaf.key = K; persistent(leaf.key).
+	h.arena.WriteAt(leaf+lfKey, key)
+	h.arena.Persist(leaf+lfKey, len(key))
+
+	// Line 16: leaf.key_len = len(K); persistent(leaf.key_len).
+	h.arena.Write1(leaf+lfKeyLen, byte(len(key)))
+	h.arena.Persist(leaf+lfKeyLen, 1)
+
+	// Line 17: Insert2Tree — volatile, no persistence needed.
+	s.tree.Insert(artKey, uint64(leaf))
+
+	// Line 18: set and persist the leaf bit. This is the commit point: a
+	// crash anywhere above leaves the leaf bit clear, so the slot reads as
+	// free and the value object is reclaimed by onLeafReuse.
+	if err := h.alloc.SetBit(leaf); err != nil {
+		return err
+	}
+	h.size.Add(1)
+	return nil
+}
+
+// update performs an out-of-place value update under the shard write
+// lock: Algorithm 3's logged protocol by default, or the paper's measured
+// unlogged pointer swing when Options.UnloggedUpdates is set.
+func (h *HART) update(leaf pmem.Ptr, value []byte) error {
+	if h.opts.UnloggedUpdates {
+		return h.updateUnlogged(leaf, value)
+	}
+	ulog := h.alloc.GetUpdateLog() // line 1
+
+	oldW := h.arena.Read8(leaf + lfPValue)
+	oldV, _ := unpackValue(oldW)
+	ulog.Arm(leaf, oldV) // lines 2-3, merged into one persist
+
+	newV, err := h.alloc.Alloc(h.valueClass(len(value))) // line 4
+	if err != nil {
+		ulog.Reclaim()
+		return err
+	}
+
+	// Line 5: new_value = V; persistent(new_value).
+	h.arena.WriteAt(newV, value)
+	h.arena.Persist(newV, len(value))
+
+	// Line 6: ulog.PNewV = &new_value. The packed word also records the
+	// value length so recovery can rebuild leaf.p_value verbatim.
+	newW := packValue(newV, len(value))
+	ulog.SetPNewV(pmem.Ptr(newW))
+
+	// Line 7: set the bit for the new value.
+	if err := h.alloc.SetBit(newV); err != nil {
+		return err
+	}
+
+	// Line 8: swing the leaf's value pointer (single atomic 8-byte store).
+	h.arena.Write8(leaf+lfPValue, newW)
+	h.arena.Persist(leaf+lfPValue, 8)
+
+	// Lines 9-10: release the old value and recycle its chunk if emptied.
+	if !oldV.IsNil() {
+		if err := h.alloc.Release(oldV); err != nil {
+			return err
+		}
+	}
+
+	ulog.Reclaim() // line 11
+	return nil
+}
+
+// Update overwrites the value of an existing key (Algorithm 3); it fails
+// with ErrNotFound for absent keys. Put both inserts and updates; Update
+// exists because the paper's update experiments never insert.
+func (h *HART) Update(key, value []byte) error {
+	if err := h.validateWrite(key, value); err != nil {
+		return err
+	}
+	hashKey, artKey := h.splitKey(key)
+	s := h.lockShardW(hashKey, false)
+	if s == nil {
+		return ErrNotFound
+	}
+	defer s.mu.Unlock()
+	leafW, found := s.tree.Get(artKey)
+	if !found {
+		return ErrNotFound
+	}
+	return h.update(pmem.Ptr(leafW), value)
+}
+
+// Get looks a key up (Algorithm 4) and returns a copy of its value.
+func (h *HART) Get(key []byte) ([]byte, bool) {
+	if h.validate(key, nil) != nil {
+		return nil, false
+	}
+	hashKey, artKey := h.splitKey(key)
+	s := h.lockShardR(hashKey) // lines 1-2
+	if s == nil {
+		return nil, false // lines 3-4
+	}
+	defer s.mu.RUnlock()
+	leafW, found := s.tree.Get(artKey) // line 5
+	if !found {
+		return nil, false // lines 6-7
+	}
+	leaf := pmem.Ptr(leafW)
+	// Lines 9-12: validate the leaf against its persistent bit before
+	// trusting its value pointer.
+	if set, err := h.alloc.BitIsSet(leaf); err != nil || !set {
+		return nil, false
+	}
+	v := h.leafValue(leaf)
+	return v, v != nil
+}
+
+// Contains reports whether key is present without copying its value.
+func (h *HART) Contains(key []byte) bool {
+	_, ok := h.Get(key)
+	return ok
+}
+
+// Delete removes a key (Algorithm 5).
+func (h *HART) Delete(key []byte) error {
+	if err := h.validate(key, nil); err != nil {
+		return err
+	}
+	hashKey, artKey := h.splitKey(key)
+	s := h.lockShardW(hashKey, false) // lines 1-2
+	if s == nil {
+		return ErrNotFound // lines 3-4
+	}
+	defer s.mu.Unlock()
+
+	leafW, found := s.tree.Get(artKey) // line 5
+	if !found {
+		return ErrNotFound // lines 6-7
+	}
+	leaf := pmem.Ptr(leafW)
+
+	// Line 9: remove from the (volatile) tree first; a crash after this
+	// point leaves the PM bits to the reset/repair protocol below.
+	s.tree.Delete(artKey)
+
+	val, _ := unpackValue(h.arena.Read8(leaf + lfPValue)) // line 10
+
+	// Line 11: reset and persist the leaf bit. From here the leaf is dead
+	// even across a crash; its stale p_value drives onLeafReuse repair if
+	// the value-bit reset below never lands.
+	if err := h.alloc.ResetBit(leaf); err != nil {
+		return err
+	}
+
+	// Lines 12-13: reset the value bit and recycle its chunk if emptied.
+	if !val.IsNil() {
+		if err := h.alloc.Release(val); err != nil {
+			return err
+		}
+	}
+
+	// Hardening beyond Algorithm 5: clear the dead leaf's value word so
+	// its stale reference cannot alias the value slot once the slot is
+	// legitimately reallocated to another record — otherwise the next
+	// reuse of *this* leaf slot would run the Algorithm 2 repair against
+	// the new owner's live value. A crash before this store lands is
+	// repaired by the recovery sweep (see recover).
+	h.arena.Write8(leaf+lfPValue, 0)
+	h.arena.Persist(leaf+lfPValue, 8)
+
+	// Line 14: recycle the leaf's chunk if it emptied.
+	if err := h.alloc.Recycle(leaf); err != nil {
+		return err
+	}
+
+	h.size.Add(-1)
+	// Lines 15-16: free the ART if it became empty.
+	h.removeShardIfEmpty(hashKey, s)
+	return nil
+}
+
+// GetLeaf returns the PM address of a key's leaf (tests and fsck).
+func (h *HART) GetLeaf(key []byte) (pmem.Ptr, bool) {
+	hashKey, artKey := h.splitKey(key)
+	s := h.lockShardR(hashKey)
+	if s == nil {
+		return pmem.Nil, false
+	}
+	defer s.mu.RUnlock()
+	leafW, found := s.tree.Get(artKey)
+	if !found {
+		return pmem.Nil, false
+	}
+	leaf := pmem.Ptr(leafW)
+	if !bytes.Equal(h.leafKey(leaf), key) {
+		return pmem.Nil, false
+	}
+	return leaf, true
+}
+
+// updateUnlogged is the update mechanism the paper's evaluation ran
+// (Section IV.B), shared in structure with WOART and ART+CoW: write the
+// new value object, commit its bit, swing the leaf's value word
+// atomically, release the old object. Four persists instead of
+// Algorithm 3's seven; crash exposure is the old object in the final
+// window, reclaimed by the recovery orphan sweep.
+func (h *HART) updateUnlogged(leaf pmem.Ptr, value []byte) error {
+	oldW := h.arena.Read8(leaf + lfPValue)
+	oldV, _ := unpackValue(oldW)
+
+	newV, err := h.alloc.Alloc(h.valueClass(len(value)))
+	if err != nil {
+		return err
+	}
+	h.arena.WriteAt(newV, value)
+	h.arena.Persist(newV, len(value))
+	if err := h.alloc.SetBit(newV); err != nil {
+		return err
+	}
+
+	// The atomic pointer swing is the commit point ("updated as the last
+	// step to ensure consistency").
+	h.arena.Write8(leaf+lfPValue, packValue(newV, len(value)))
+	h.arena.Persist(leaf+lfPValue, 8)
+
+	if !oldV.IsNil() {
+		if err := h.alloc.Release(oldV); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,218 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/casl-sdsu/hart/internal/hashdir"
+
+	"github.com/casl-sdsu/hart/internal/epalloc"
+	"github.com/casl-sdsu/hart/internal/pmem"
+)
+
+// recover rebuilds the volatile half of HART after a restart or crash
+// (Algorithm 7) and completes interrupted updates recorded in the update
+// logs (Algorithm 3's failure-recovery discussion).
+//
+// Recovery is much faster than rebuilding from scratch because leaves and
+// values are already on PM: only hash-directory entries and ART internal
+// nodes are created, and no PM write happens for the common case.
+func (h *HART) recover() error {
+	// 1. Update-log recovery. Must run before the index is rebuilt so the
+	// leaves' value pointers are final when the trees are populated.
+	for _, ul := range h.alloc.PendingUpdateLogs() {
+		if err := h.recoverUpdate(ul); err != nil {
+			return err
+		}
+		h.alloc.ResetUpdateLogAt(ul.Index)
+	}
+
+	// 2. Rebuild the directory and ARTs by walking every leaf chunk
+	// (Algorithm 7 lines 2-6): only leaves whose bit is set are alive.
+	// Along the way, collect the live value references and the dead leaf
+	// slots for the stale-reference sweep below.
+	//
+	// With RecoveryWorkers > 1 the rebuild runs in parallel: recovery is
+	// embarrassingly parallel across ARTs because the hash key of a leaf
+	// fully determines its shard, so workers partition leaves by hash key
+	// and never contend on a tree. (An extension beyond the paper's
+	// single-threaded Algorithm 7; disabled by default.)
+	liveVals := make(map[pmem.Ptr]bool)
+	var deadSlots []pmem.Ptr
+	var liveLeaves []pmem.Ptr
+	err := h.alloc.IterateObjects(classLeaf, func(leaf pmem.Ptr, used bool) bool {
+		vp, _ := unpackValue(h.arena.Read8(leaf + lfPValue))
+		if !used {
+			if !vp.IsNil() {
+				deadSlots = append(deadSlots, leaf)
+			}
+			return true
+		}
+		if !vp.IsNil() {
+			liveVals[vp] = true
+		}
+		liveLeaves = append(liveLeaves, leaf)
+		return true
+	})
+	if err != nil {
+		return err
+	}
+	if err := h.rebuildIndex(liveLeaves); err != nil {
+		return err
+	}
+
+	// 3. Stale-reference sweep: a dead leaf slot may still reference a
+	// value object — either a reclaimable orphan from an interrupted
+	// insertion/deletion (value bit set, value owned by nobody) or a
+	// harmless stale pointer. Reclaim the orphans and zero every stale
+	// word so that no later slot reuse can misinterpret an aliased,
+	// since-reallocated value slot (see Delete for the runtime side).
+	for _, leaf := range deadSlots {
+		vp, _ := unpackValue(h.arena.Read8(leaf + lfPValue))
+		if !vp.IsNil() && !liveVals[vp] {
+			if set, err := h.alloc.BitIsSet(vp); err == nil && set {
+				if err := h.alloc.ResetBit(vp); err != nil {
+					return err
+				}
+				if err := h.alloc.RecycleIfPresent(vp); err != nil {
+					return err
+				}
+			}
+		}
+		h.arena.Write8(leaf+lfPValue, 0)
+		h.arena.Persist(leaf+lfPValue, 8)
+	}
+
+	// 4. Orphan value sweep (mark-and-sweep): any committed value object
+	// referenced by no live leaf and no dead slot is unreachable forever —
+	// the residue of an unlogged update (Options.UnloggedUpdates) or of a
+	// baseline-style crash window — and is reclaimed here. With Algorithm
+	// 3 updates this finds nothing; either way, a recovered HART starts
+	// leak-free.
+	for i := range h.opts.ValueClasses {
+		c := classValue0 + epalloc.Class(i)
+		var orphans []pmem.Ptr
+		if err := h.alloc.IterateObjects(c, func(vp pmem.Ptr, used bool) bool {
+			if used && !liveVals[vp] {
+				orphans = append(orphans, vp)
+			}
+			return true
+		}); err != nil {
+			return err
+		}
+		for _, vp := range orphans {
+			if err := h.alloc.Release(vp); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// recoverUpdate completes one interrupted Algorithm 3 update, following
+// the paper's case analysis.
+func (h *HART) recoverUpdate(ul epalloc.UpdateLogState) error {
+	// Case 1: only PLeaf valid — the update had not allocated anything
+	// durable; reset the log.
+	// Case 2: PLeaf and POldV valid but PNewV invalid — the new value's
+	// bit was never set, so its space reads as free; reset the log.
+	if ul.PNewV.IsNil() {
+		return nil
+	}
+	// Case 3: all three pointers valid — the crash happened between line 7
+	// and line 10; resume from line 7.
+	leaf := ul.PLeaf
+	newW := uint64(ul.PNewV) // packed (pointer, length) word
+	newV, _ := unpackValue(newW)
+
+	if err := h.alloc.SetBit(newV); err != nil { // line 7
+		return err
+	}
+	h.arena.Write8(leaf+lfPValue, newW) // line 8
+	h.arena.Persist(leaf+lfPValue, 8)
+	if !ul.POldV.IsNil() && ul.POldV != newV {
+		if err := h.alloc.ResetBit(ul.POldV); err != nil { // line 9
+			return err
+		}
+		if err := h.alloc.RecycleIfPresent(ul.POldV); err != nil { // line 10
+			return err
+		}
+	}
+	return nil
+}
+
+// Rebuild discards the volatile index and reruns recovery in place; it
+// exists so the recovery experiment (Fig. 10c) can measure recovery time
+// without re-creating the arena.
+func (h *HART) Rebuild() error {
+	h.dirMu.Lock()
+	h.dir = hashdir.New[*artShard]()
+	h.dirMu.Unlock()
+	h.size.Store(0)
+	return h.recover()
+}
+
+// rebuildIndex inserts every live leaf into the volatile index, serially
+// or with Options.RecoveryWorkers parallel workers partitioned by hash
+// key (leaves with the same hash key always land on the same worker, so
+// shards are single-writer during rebuild).
+func (h *HART) rebuildIndex(leaves []pmem.Ptr) error {
+	insert := func(leaf pmem.Ptr) error {
+		key := h.leafKey(leaf)
+		if len(key) == 0 {
+			return fmt.Errorf("hart: recovery found live leaf %d with empty key", leaf)
+		}
+		hashKey, artKey := h.splitKey(key)
+		s := h.getShard(hashKey, true)
+		s.tree.Insert(artKey, uint64(leaf))
+		h.size.Add(1)
+		return nil
+	}
+
+	workers := h.opts.RecoveryWorkers
+	if workers <= 1 || len(leaves) < 1024 {
+		for _, leaf := range leaves {
+			if err := insert(leaf); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	// Partition by hash key so no two workers touch the same ART.
+	parts := make([][]pmem.Ptr, workers)
+	for _, leaf := range leaves {
+		hashKey, _ := h.splitKey(h.leafKey(leaf))
+		w := int(fnv32(hashKey)) % workers
+		parts[w] = append(parts[w], leaf)
+	}
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for _, leaf := range parts[w] {
+				if errs[w] = insert(leaf); errs[w] != nil {
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// fnv32 hashes a hash key for worker partitioning.
+func fnv32(b []byte) uint32 {
+	h := uint32(2166136261)
+	for _, c := range b {
+		h = (h ^ uint32(c)) * 16777619
+	}
+	return h & 0x7fffffff
+}

@@ -1,0 +1,163 @@
+package core
+
+import (
+	"bytes"
+
+	"github.com/casl-sdsu/hart/internal/pmem"
+)
+
+// Scan visits all records with start <= key < end in ascending key order,
+// calling fn with copies of key and value until fn returns false. A nil
+// start scans from the smallest key; a nil end scans to the largest.
+//
+// The paper implements range query as one search per known key (Section
+// IV.D) and notes that "the side-effect of hash on range query of HART is
+// very limited because the main part of HART are multiple ART trees".
+// Scan realises that observation as a native ordered scan: the hash
+// directory keeps its keys in a sorted list, the shards are visited in
+// hash-key order, and each ART is traversed in order, so the concatenated
+// output is globally sorted. This is the natural extension the paper's
+// design admits; the benchmark harness measures both this and the paper's
+// per-key method.
+func (h *HART) Scan(start, end []byte, fn func(key, value []byte) bool) {
+	if h.closed.Load() {
+		return
+	}
+	h.dirMu.RLock()
+	hks := append([]string(nil), h.dir.SortedKeys()...)
+	h.dirMu.RUnlock()
+
+	for _, hk := range hks {
+		hkb := []byte(hk)
+		// All keys in this shard are hk + suffix. Skip shards wholly
+		// before start or at/after end; derive in-shard bounds otherwise.
+		if end != nil && bytes.Compare(hkb, end) >= 0 {
+			return // sorted order: nothing further can qualify
+		}
+		var artStart, artEnd []byte
+		if start != nil {
+			switch {
+			case bytes.HasPrefix(start, hkb):
+				artStart = start[len(hkb):]
+			case bytes.Compare(hkb, start) > 0:
+				artStart = nil // every key in the shard is >= start
+			default:
+				continue // every key in the shard is < start
+			}
+		}
+		if end != nil && bytes.HasPrefix(end, hkb) {
+			artEnd = end[len(hkb):]
+			// artEnd of length 0 would mean end == hk: handled by the
+			// shard-skip test above, so artEnd here is always non-empty.
+		}
+
+		s := h.lockShardR(hkb)
+		if s == nil {
+			continue
+		}
+		stop := false
+		s.tree.AscendRange(artStart, artEnd, func(artKey []byte, leafW uint64) bool {
+			leaf := h.leafKeyValue(leafW)
+			if leaf == nil {
+				return true
+			}
+			if !fn(leaf.key, leaf.value) {
+				stop = true
+				return false
+			}
+			return true
+		})
+		s.mu.RUnlock()
+		if stop {
+			return
+		}
+	}
+}
+
+// scannedLeaf carries one materialised record.
+type scannedLeaf struct {
+	key, value []byte
+}
+
+// leafKeyValue loads a leaf's key and value, returning nil for a leaf
+// whose bit is unset (concurrently deleted).
+func (h *HART) leafKeyValue(leafW uint64) *scannedLeaf {
+	leaf := pmem.Ptr(leafW)
+	if set, err := h.alloc.BitIsSet(leaf); err != nil || !set {
+		return nil
+	}
+	v := h.leafValue(leaf)
+	if v == nil {
+		return nil
+	}
+	return &scannedLeaf{key: h.leafKey(leaf), value: v}
+}
+
+// Keys returns all keys in ascending order (convenience for tests and
+// examples; materialises the whole key set).
+func (h *HART) Keys() [][]byte {
+	var out [][]byte
+	h.Scan(nil, nil, func(k, _ []byte) bool {
+		out = append(out, k)
+		return true
+	})
+	return out
+}
+
+// ScanReverse visits records with start <= key < end in descending key
+// order — the mirror of Scan, walking the hash directory's sorted keys
+// backwards and each ART in reverse. (API extension beyond the paper.)
+func (h *HART) ScanReverse(start, end []byte, fn func(key, value []byte) bool) {
+	if h.closed.Load() {
+		return
+	}
+	h.dirMu.RLock()
+	hks := append([]string(nil), h.dir.SortedKeys()...)
+	h.dirMu.RUnlock()
+
+	for i := len(hks) - 1; i >= 0; i-- {
+		hkb := []byte(hks[i])
+		if end != nil && bytes.Compare(hkb, end) >= 0 {
+			// The shard may still intersect [start, end) only if end has
+			// hkb as a prefix; otherwise every key hk+s is >= end.
+			if !bytes.HasPrefix(end, hkb) {
+				continue
+			}
+		}
+		var artStart, artEnd []byte
+		if start != nil {
+			switch {
+			case bytes.HasPrefix(start, hkb):
+				artStart = start[len(hkb):]
+			case bytes.Compare(hkb, start) > 0:
+				artStart = nil
+			default:
+				return // sorted descent: everything further is < start
+			}
+		}
+		if end != nil && bytes.HasPrefix(end, hkb) {
+			artEnd = end[len(hkb):]
+		}
+
+		s := h.lockShardR(hkb)
+		if s == nil {
+			continue
+		}
+		stop := false
+		s.tree.DescendRange(artStart, artEnd, func(artKey []byte, leafW uint64) bool {
+			rec := h.leafKeyValue(leafW)
+			if rec == nil {
+				return true
+			}
+			if !fn(rec.key, rec.value) {
+				stop = true
+				return false
+			}
+			return true
+		})
+		s.mu.RUnlock()
+		if stop {
+			return
+		}
+	}
+}

@@ -1,0 +1,93 @@
+package core
+
+import (
+	"github.com/casl-sdsu/hart/internal/art"
+	"github.com/casl-sdsu/hart/internal/epalloc"
+	"github.com/casl-sdsu/hart/internal/kv"
+	"github.com/casl-sdsu/hart/internal/pmem"
+)
+
+// Name implements kv.Index.
+func (h *HART) Name() string { return "HART" }
+
+// SizeInfo implements kv.Index (PM/DRAM split, paper Fig. 10b).
+func (h *HART) SizeInfo() kv.SizeInfo {
+	st := h.Stats()
+	return kv.SizeInfo{PMBytes: st.Size.PMBytes, DRAMBytes: st.Size.DRAMBytes}
+}
+
+// Compile-time interface checks.
+var (
+	_ kv.Index       = (*HART)(nil)
+	_ kv.Recoverable = (*HART)(nil)
+	_ kv.Checkable   = (*HART)(nil)
+)
+
+// SizeInfo reports the PM and DRAM footprint of the index, the quantities
+// compared in the paper's memory-consumption experiment (Fig. 10b).
+type SizeInfo struct {
+	// PMBytes is the persistent footprint: every byte reserved from the
+	// arena (superblock, chunk lists, free lists).
+	PMBytes int64
+	// DRAMBytes estimates the volatile footprint: ART internal nodes,
+	// in-DRAM leaf headers and the hash directory.
+	DRAMBytes int64
+}
+
+// Stats aggregates the state of a HART instance.
+type Stats struct {
+	// Records is the number of live records.
+	Records int
+	// ARTs is the number of ARTs in the hash directory.
+	ARTs int
+	// Size is the PM/DRAM footprint.
+	Size SizeInfo
+	// ART aggregates node counts over all ARTs.
+	ART art.Stats
+	// Arena is the PM device's counters.
+	Arena pmem.Stats
+	// Alloc is the allocator's per-class state.
+	Alloc []epalloc.ClassStats
+}
+
+// hash-directory per-entry DRAM cost estimate: map bucket share + string
+// header + shard struct + sorted-slice entry.
+const dirEntryCost = 128
+
+// Stats collects statistics. It takes every shard's read lock.
+func (h *HART) Stats() Stats {
+	st := Stats{
+		Records: h.Len(),
+		Arena:   h.arena.Stats(),
+		Alloc:   h.alloc.Stats(),
+	}
+	st.Size.PMBytes = st.Arena.Reserved
+
+	h.dirMu.RLock()
+	shards := make([]*artShard, 0, h.dir.Len())
+	h.dir.Range(func(_ []byte, s *artShard) bool {
+		shards = append(shards, s)
+		return true
+	})
+	dirBytes := h.dir.DRAMBytes()
+	h.dirMu.RUnlock()
+
+	st.ARTs = len(shards)
+	st.Size.DRAMBytes = int64(st.ARTs)*dirEntryCost + dirBytes
+	for _, s := range shards {
+		s.mu.RLock()
+		ts := s.tree.Stats()
+		s.mu.RUnlock()
+		st.ART.Records += ts.Records
+		st.ART.Node4s += ts.Node4s
+		st.ART.Node16s += ts.Node16s
+		st.ART.Node48s += ts.Node48s
+		st.ART.Node256s += ts.Node256s
+		if ts.Height > st.ART.Height {
+			st.ART.Height = ts.Height
+		}
+		st.ART.Bytes += ts.Bytes
+		st.Size.DRAMBytes += ts.Bytes
+	}
+	return st
+}

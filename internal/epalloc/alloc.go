@@ -1,0 +1,283 @@
+package epalloc
+
+import (
+	"fmt"
+	"math/bits"
+
+	"github.com/casl-sdsu/hart/internal/pmem"
+)
+
+// Alloc implements EPMalloc (Algorithm 2): it returns a free object slot of
+// the class, allocating and linking a new memory chunk if no existing chunk
+// has room. The slot's persistent bit is NOT set — the caller commits the
+// object with SetBit once it is fully initialised and linked into the index
+// (Algorithm 1 line 18). Until then the slot is reserved only in volatile
+// memory, so a crash makes it allocatable again, which is exactly the
+// leak-prevention property of Section III.A.6.
+//
+// If the class has an OnReuse hook it runs on the returned slot before
+// Alloc returns, mirroring Algorithm 2 lines 12-16 (reclaiming a value
+// object left behind by an incomplete insertion or deletion).
+func (a *Allocator) Alloc(c Class) (pmem.Ptr, error) {
+	cs := &a.classes[c]
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+
+	// Walk chunks believed to have free slots (Algorithm 2 lines 1-7; the
+	// avail queue plays the role of the list walk without rescanning
+	// known-full chunks).
+	for len(cs.avail) > 0 {
+		chunk := cs.avail[len(cs.avail)-1]
+		meta := cs.meta[chunk]
+		if obj, ok := a.takeSlot(c, chunk, meta); ok {
+			a.runOnReuse(cs, obj)
+			return obj, nil
+		}
+		meta.inAvail = false
+		cs.avail = cs.avail[:len(cs.avail)-1]
+	}
+
+	// No chunk with a free slot: allocate a new chunk and link it at the
+	// head of the class's chunk list (Algorithm 2 lines 8-11).
+	chunk, err := a.allocChunk(c)
+	if err != nil {
+		return pmem.Nil, err
+	}
+	meta := &chunkMeta{inAvail: true}
+	cs.meta[chunk] = meta
+	cs.avail = append(cs.avail, chunk)
+	cs.nchunks++
+	obj, ok := a.takeSlot(c, chunk, meta)
+	if !ok {
+		return pmem.Nil, fmt.Errorf("%w: fresh chunk %d has no free slot", ErrCorrupt, chunk)
+	}
+	a.runOnReuse(cs, obj)
+	return obj, nil
+}
+
+// runOnReuse invokes the class's reuse hook.
+func (a *Allocator) runOnReuse(cs *classState, obj pmem.Ptr) {
+	if cs.spec.OnReuse != nil {
+		cs.spec.OnReuse(obj)
+	}
+}
+
+// takeSlot claims one free slot of chunk, preferring the persistent
+// next-free hint. A slot is free when neither its persistent bit nor its
+// volatile in-flight bit is set. Returns false if the chunk is full.
+func (a *Allocator) takeSlot(c Class, chunk pmem.Ptr, meta *chunkMeta) (pmem.Ptr, bool) {
+	h := a.readHeader(chunk)
+	freeMask := ^(h.bitmap() | meta.inFlight) & bitmapMask
+	if freeMask == 0 {
+		return pmem.Nil, false
+	}
+	idx := h.nextFree()
+	if idx >= ObjectsPerChunk || freeMask&(1<<uint(idx)) == 0 {
+		idx = bits.TrailingZeros64(freeMask)
+	}
+	meta.inFlight |= 1 << uint(idx)
+	return a.SlotAddr(chunk, c, idx), true
+}
+
+// allocChunk obtains a chunk for the class, reusing a recycled chunk from
+// the free list when possible, and links it at the head of the class's
+// chunk list. The whole transition runs under the chunk-transfer micro-log
+// so a crash at any persist boundary neither leaks the chunk nor corrupts
+// either list (see recoverLogs).
+func (a *Allocator) allocChunk(c Class) (pmem.Ptr, error) {
+	ar := a.arena
+	a.chunkMu.Lock()
+	defer a.chunkMu.Unlock()
+
+	size := chunkSize(a.classes[c].spec.ObjSize)
+	chunk := a.freeHead(c)
+	fresh := chunk.IsNil()
+	if fresh {
+		// Predict the reservation address so the transfer log can be armed
+		// *before* the bump cursor durably advances; a crash between the
+		// two then cannot leak the chunk. chunkMu serialises reservations,
+		// so the prediction is exact.
+		chunk = pmem.Ptr((a.arena.Reserved() + 7) &^ 7)
+	}
+
+	// Arm the transfer log: "chunk is moving onto class c's chunk list".
+	// Class first, chunk pointer last — the log is armed iff PChunk != 0.
+	ar.Write8(a.sb+sbTLogOff+8, uint64(c))
+	ar.Persist(a.sb+sbTLogOff+8, 8)
+	ar.WritePtr(a.sb+sbTLogOff, chunk)
+	ar.Persist(a.sb+sbTLogOff, 8)
+
+	if fresh {
+		got, err := ar.Reserve(size, 8)
+		if err != nil {
+			ar.WritePtr(a.sb+sbTLogOff, pmem.Nil)
+			ar.Persist(a.sb+sbTLogOff, 8)
+			return pmem.Nil, err
+		}
+		if got != chunk {
+			return pmem.Nil, fmt.Errorf("%w: predicted chunk %d, reserved %d", ErrCorrupt, chunk, got)
+		}
+	} else {
+		// Unlink from the free list.
+		next := ar.ReadPtr(chunk + 8)
+		ar.WritePtr(a.freeHeadAddr(c), next)
+		ar.Persist(a.freeHeadAddr(c), 8)
+	}
+
+	// Initialise: empty bitmap, hint 0, available; PNext = current head.
+	ar.Write8(chunk, uint64(makeHeader(0, 0, fullAvailable)))
+	ar.WritePtr(chunk+8, a.head(c))
+	ar.Persist(chunk, 16)
+
+	// Link at head, then disarm the log.
+	ar.WritePtr(a.headAddr(c), chunk)
+	ar.Persist(a.headAddr(c), 8)
+	ar.WritePtr(a.sb+sbTLogOff, pmem.Nil)
+	ar.Persist(a.sb+sbTLogOff, 8)
+
+	a.registerRange(chunk, c)
+	return chunk, nil
+}
+
+// SetBit commits an allocated object: it durably marks the slot live and
+// refreshes the next-free hint and full indicator. The header is a single
+// 8-byte word, so the commit is failure-atomic (paper Fig. 2).
+func (a *Allocator) SetBit(obj pmem.Ptr) error {
+	r, ok := a.lookupRange(obj)
+	if !ok {
+		return ErrNotChunkObject
+	}
+	idx, err := a.slotIndex(r, obj)
+	if err != nil {
+		return err
+	}
+	cs := &a.classes[r.class]
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+
+	h := a.readHeader(r.start)
+	bm := h.bitmap() | 1<<uint(idx)
+	a.writeHeader(r.start, packHeader(bm))
+	if meta := cs.meta[r.start]; meta != nil {
+		meta.inFlight &^= 1 << uint(idx)
+	}
+	return nil
+}
+
+// ResetBit durably marks the slot free (used by deletion, update reclaim
+// and the OnReuse repair path) and refreshes hint and indicator.
+func (a *Allocator) ResetBit(obj pmem.Ptr) error {
+	r, ok := a.lookupRange(obj)
+	if !ok {
+		return ErrNotChunkObject
+	}
+	idx, err := a.slotIndex(r, obj)
+	if err != nil {
+		return err
+	}
+	cs := &a.classes[r.class]
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	a.resetBitLocked(cs, r, idx)
+	return nil
+}
+
+// resetBitLocked clears a slot bit with the class lock held.
+func (a *Allocator) resetBitLocked(cs *classState, r chunkRange, idx int) {
+	h := a.readHeader(r.start)
+	bm := h.bitmap() &^ (1 << uint(idx))
+	a.writeHeader(r.start, packHeader(bm))
+	meta := cs.meta[r.start]
+	if meta == nil {
+		meta = &chunkMeta{}
+		cs.meta[r.start] = meta
+	}
+	meta.inFlight &^= 1 << uint(idx)
+	if !meta.inAvail {
+		meta.inAvail = true
+		cs.avail = append(cs.avail, r.start)
+	}
+}
+
+// Release clears the slot's persistent bit and, if that empties its
+// chunk, recycles the chunk — ResetBit plus Recycle (Algorithm 5 lines
+// 12-13 / Algorithm 3 lines 9-10) fused under one class-lock acquisition
+// and one header read.
+func (a *Allocator) Release(obj pmem.Ptr) error {
+	r, ok := a.lookupRange(obj)
+	if !ok {
+		return ErrNotChunkObject
+	}
+	idx, err := a.slotIndex(r, obj)
+	if err != nil {
+		return err
+	}
+	cs := &a.classes[r.class]
+	cs.mu.Lock()
+	h := a.readHeader(r.start)
+	bm := h.bitmap() &^ (1 << uint(idx))
+	a.writeHeader(r.start, packHeader(bm))
+	meta := cs.meta[r.start]
+	if meta == nil {
+		meta = &chunkMeta{}
+		cs.meta[r.start] = meta
+	}
+	meta.inFlight &^= 1 << uint(idx)
+	if !meta.inAvail {
+		meta.inAvail = true
+		cs.avail = append(cs.avail, r.start)
+	}
+	empty := bm == 0 && meta.inFlight == 0
+	cs.mu.Unlock()
+	if !empty {
+		return nil
+	}
+	return a.recycleChunkMode(r.class, r.start, true)
+}
+
+// Abort releases a slot obtained from Alloc whose object will never be
+// committed (volatile only; nothing to undo on PM).
+func (a *Allocator) Abort(obj pmem.Ptr) error {
+	r, ok := a.lookupRange(obj)
+	if !ok {
+		return ErrNotChunkObject
+	}
+	idx, err := a.slotIndex(r, obj)
+	if err != nil {
+		return err
+	}
+	cs := &a.classes[r.class]
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	if meta := cs.meta[r.start]; meta != nil {
+		meta.inFlight &^= 1 << uint(idx)
+		if !meta.inAvail {
+			meta.inAvail = true
+			cs.avail = append(cs.avail, r.start)
+		}
+	}
+	return nil
+}
+
+// BitIsSet reports whether the slot's persistent bit is set (the validity
+// check search performs on leaves, Algorithm 4 line 9).
+func (a *Allocator) BitIsSet(obj pmem.Ptr) (bool, error) {
+	r, ok := a.lookupRange(obj)
+	if !ok {
+		return false, ErrNotChunkObject
+	}
+	idx, err := a.slotIndex(r, obj)
+	if err != nil {
+		return false, err
+	}
+	return a.readHeader(r.start).bitmap()&(1<<uint(idx)) != 0, nil
+}
+
+// packHeader derives hint and indicator from a bitmap and packs the header.
+func packHeader(bitmap uint64) header {
+	freeMask := ^bitmap & bitmapMask
+	if freeMask == 0 {
+		return makeHeader(bitmap, 0, fullFull)
+	}
+	return makeHeader(bitmap, bits.TrailingZeros64(freeMask), fullAvailable)
+}

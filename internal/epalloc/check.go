@@ -1,0 +1,144 @@
+package epalloc
+
+import (
+	"fmt"
+
+	"github.com/casl-sdsu/hart/internal/pmem"
+)
+
+// IterateObjects calls fn for every slot of every chunk on the class's
+// chunk list, reporting whether the slot's persistent bit is set. This is
+// the traversal HART's recovery uses (Algorithm 7 lines 2-6). Iteration
+// order is list order (most recently linked chunk first).
+func (a *Allocator) IterateObjects(c Class, fn func(obj pmem.Ptr, used bool) bool) error {
+	cs := &a.classes[c]
+	steps := 0
+	for chunk := a.head(c); !chunk.IsNil(); chunk = a.arena.ReadPtr(chunk + 8) {
+		if steps++; steps > cs.nchunks+1 {
+			return fmt.Errorf("%w: class %s chunk list longer than %d chunks (cycle?)",
+				ErrCorrupt, cs.spec.Name, cs.nchunks)
+		}
+		h := a.readHeader(chunk)
+		for i := 0; i < ObjectsPerChunk; i++ {
+			if !fn(a.SlotAddr(chunk, c, i), h.bitmap()&(1<<uint(i)) != 0) {
+				return nil
+			}
+		}
+	}
+	return nil
+}
+
+// CountUsed returns the number of live objects in the class.
+func (a *Allocator) CountUsed(c Class) (int, error) {
+	n := 0
+	err := a.IterateObjects(c, func(_ pmem.Ptr, used bool) bool {
+		if used {
+			n++
+		}
+		return true
+	})
+	return n, err
+}
+
+// ClassStats summarises one class for diagnostics and the memory-
+// consumption experiment (Fig. 10b).
+type ClassStats struct {
+	// Name is the class label.
+	Name string
+	// ObjSize is the slot size in bytes.
+	ObjSize int64
+	// Chunks is the number of chunks on the chunk list.
+	Chunks int
+	// FreeChunks is the number of chunks on the free list.
+	FreeChunks int
+	// Used is the number of live objects.
+	Used int
+	// PMBytes is the PM footprint of all the class's chunks (both lists).
+	PMBytes int64
+}
+
+// Stats returns per-class statistics.
+func (a *Allocator) Stats() []ClassStats {
+	out := make([]ClassStats, len(a.classes))
+	for i := range a.classes {
+		c := Class(i)
+		cs := &a.classes[i]
+		st := ClassStats{Name: cs.spec.Name, ObjSize: cs.spec.ObjSize}
+		for chunk := a.head(c); !chunk.IsNil(); chunk = a.arena.ReadPtr(chunk + 8) {
+			st.Chunks++
+			h := a.readHeader(chunk)
+			st.Used += ObjectsPerChunk - h.free()
+			if st.Chunks > cs.nchunks+1 {
+				break
+			}
+		}
+		st.FreeChunks = a.FreeChunks(c)
+		st.PMBytes = int64(st.Chunks+st.FreeChunks) * chunkSize(cs.spec.ObjSize)
+		out[i] = st
+	}
+	return out
+}
+
+// Check is EPallocator's fsck. It validates, for every class:
+//
+//   - the chunk list and free list are acyclic and disjoint;
+//   - every chunk is a known reservation of the right class;
+//   - every chunk-list header's full indicator and next-free hint agree
+//     with its bitmap;
+//   - no armed micro-log remains (a quiescent allocator has none).
+//
+// It returns nil when all invariants hold.
+func (a *Allocator) Check() error {
+	for i := range a.classes {
+		c := Class(i)
+		cs := &a.classes[i]
+		seen := make(map[pmem.Ptr]int) // 1 = chunk list, 2 = free list
+		steps := 0
+		for chunk := a.head(c); !chunk.IsNil(); chunk = a.arena.ReadPtr(chunk + 8) {
+			if steps++; steps > cs.nchunks+1 {
+				return fmt.Errorf("%w: class %s chunk list cycle", ErrCorrupt, cs.spec.Name)
+			}
+			if seen[chunk] != 0 {
+				return fmt.Errorf("%w: class %s chunk %d linked twice", ErrCorrupt, cs.spec.Name, chunk)
+			}
+			seen[chunk] = 1
+			r, ok := a.lookupRange(chunk + chunkDataOff)
+			if !ok || r.start != chunk || r.class != c {
+				return fmt.Errorf("%w: class %s chunk %d not a registered reservation", ErrCorrupt, cs.spec.Name, chunk)
+			}
+			h := a.readHeader(chunk)
+			if h.bitmap() == bitmapMask {
+				if h.fullIndicator() != fullFull {
+					return fmt.Errorf("%w: class %s chunk %d full but indicator %d",
+						ErrCorrupt, cs.spec.Name, chunk, h.fullIndicator())
+				}
+			} else {
+				if h.fullIndicator() != fullAvailable {
+					return fmt.Errorf("%w: class %s chunk %d has free slots but indicator %d",
+						ErrCorrupt, cs.spec.Name, chunk, h.fullIndicator())
+				}
+				if nf := h.nextFree(); nf < ObjectsPerChunk && h.bitmap()&(1<<uint(nf)) != 0 {
+					return fmt.Errorf("%w: class %s chunk %d next-free hint %d points at a used slot",
+						ErrCorrupt, cs.spec.Name, chunk, nf)
+				}
+			}
+		}
+		steps = 0
+		for chunk := a.freeHead(c); !chunk.IsNil(); chunk = a.arena.ReadPtr(chunk + 8) {
+			if steps++; steps > cs.nchunks+1 {
+				return fmt.Errorf("%w: class %s free list cycle", ErrCorrupt, cs.spec.Name)
+			}
+			if seen[chunk] != 0 {
+				return fmt.Errorf("%w: class %s chunk %d on both lists", ErrCorrupt, cs.spec.Name, chunk)
+			}
+			seen[chunk] = 2
+		}
+	}
+	if cur := a.arena.ReadPtr(a.sb + sbRLogOff + 8); !cur.IsNil() {
+		return fmt.Errorf("%w: recycle log still armed (chunk %d)", ErrCorrupt, cur)
+	}
+	if chunk := a.arena.ReadPtr(a.sb + sbTLogOff); !chunk.IsNil() {
+		return fmt.Errorf("%w: transfer log still armed (chunk %d)", ErrCorrupt, chunk)
+	}
+	return nil
+}

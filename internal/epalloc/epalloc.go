@@ -1,0 +1,374 @@
+// Package epalloc implements EPallocator, HART's enhanced persistent
+// memory allocator (paper Section III.A.4-6, Algorithms 2 and 6).
+//
+// Existing PM allocators are slow when allocating numerous small objects,
+// so EPallocator reserves *memory chunks* of 56 objects at a time and hands
+// out objects from them. Each chunk holds:
+//
+//	+0  header (8 B): bytes 0-6 = 56-bit occupancy bitmap (bit i set =>
+//	    slot i live), byte 7 = 6-bit next-free-slot hint (bits 0-5) and
+//	    2-bit full indicator (bits 6-7: 00 available, 01 full, 10/11
+//	    reserved)
+//	+8  PNext (8 B): persistent pointer to the next chunk of the class
+//	+16 56 object slots
+//
+// Chunks of one object class form a singly linked persistent list, so one
+// persistent next pointer amortises over 56 objects instead of one per
+// leaf (the paper's argument against per-leaf next pointers). The bitmap
+// is the durable record of which objects are live: an object allocated but
+// whose bit was never set simply reads as free after a crash, which is how
+// EPallocator prevents persistent memory leaks. Freed chunks are unlinked
+// under a persistent recycle micro-log and pushed onto a per-class free
+// list for reuse.
+//
+// The commit protocol is split between allocator and caller exactly as in
+// Algorithm 1: Alloc hands out a slot *without* setting its bit (marking it
+// volatile-in-flight so concurrent allocations skip it); the caller calls
+// SetBit only after the object is fully initialised and linked. A crash in
+// between leaves the bit clear and the slot reusable.
+package epalloc
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"github.com/casl-sdsu/hart/internal/pmem"
+)
+
+// ObjectsPerChunk is the number of object slots per memory chunk (Fig. 2).
+const ObjectsPerChunk = 56
+
+// MaxClasses bounds the number of object classes one allocator serves.
+const MaxClasses = 16
+
+// chunkDataOff is the byte offset of slot 0 within a chunk.
+const chunkDataOff = 16
+
+// Superblock layout (relative to the allocator's superblock base, which is
+// always the first reservation of the arena, i.e. offset pmem.HeaderSize).
+const (
+	sbMagicOff      = 0   // 8B magic
+	sbNumClassesOff = 8   // 8B class count
+	sbClassTableOff = 24  // MaxClasses × 24B entries, ends at 408
+	sbRLogOff       = 408 // recycle log: PPrev, PCurrent, class (3×8B)
+	sbTLogOff       = 432 // chunk-transfer log: PChunk, class (2×8B)
+	sbULogPoolOff   = 512 // NumUpdateLogs × 24B update logs
+	sbSize          = sbULogPoolOff + NumUpdateLogs*ulogSlotSize
+)
+
+// Per-class table entry layout.
+const (
+	ceObjSizeOff  = 0  // 8B object size
+	ceHeadOff     = 8  // 8B head of chunk list
+	ceFreeHeadOff = 16 // 8B head of free-chunk list
+	ceSize        = 24
+)
+
+const epMagic = 0x4841525445504131 // "HARTEPA1"
+
+// Header-byte-7 encodings.
+const (
+	fullAvailable = 0x0
+	fullFull      = 0x1
+)
+
+// Errors returned by the allocator.
+var (
+	// ErrTooManyClasses reports a New call exceeding MaxClasses.
+	ErrTooManyClasses = errors.New("epalloc: too many object classes")
+	// ErrBadMagic reports that Attach found no allocator superblock.
+	ErrBadMagic = errors.New("epalloc: bad superblock magic")
+	// ErrNotChunkObject reports a pointer that is not a slot managed here.
+	ErrNotChunkObject = errors.New("epalloc: pointer is not an allocated object slot")
+	// ErrCorrupt reports an fsck failure.
+	ErrCorrupt = errors.New("epalloc: corrupt allocator state")
+)
+
+// Class identifies one object size class.
+type Class int
+
+// ClassSpec describes an object class.
+type ClassSpec struct {
+	// Name labels the class in diagnostics ("leaf", "value8", ...).
+	Name string
+	// ObjSize is the slot size in bytes; must be a positive multiple of 8.
+	ObjSize int64
+	// OnReuse, if non-nil, runs under the class lock whenever Alloc hands
+	// out a slot (fresh or reused). HART registers the Algorithm 2 lines
+	// 12-16 check here: a leaf slot whose bit is clear but whose p_value
+	// still references a live value object is the residue of an incomplete
+	// insertion or deletion, and the value must be reclaimed before the
+	// slot is reused.
+	OnReuse func(obj pmem.Ptr)
+}
+
+// chunkMeta is volatile per-chunk bookkeeping.
+type chunkMeta struct {
+	inFlight uint64 // slots handed out but not yet bit-committed
+	inAvail  bool   // chunk is queued in classState.avail
+}
+
+// classState is volatile per-class state.
+type classState struct {
+	spec ClassSpec
+	mu   sync.Mutex
+	// avail queues chunks believed to have a free slot.
+	avail []pmem.Ptr
+	meta  map[pmem.Ptr]*chunkMeta
+	// nchunks counts chunks ever created for the class (cycle guard).
+	nchunks int
+}
+
+// chunkRange records one chunk's extent for ChunkOf lookups.
+type chunkRange struct {
+	start pmem.Ptr
+	end   pmem.Ptr
+	class Class
+}
+
+// Allocator is one EPallocator instance over one arena.
+type Allocator struct {
+	arena   *pmem.Arena
+	sb      pmem.Ptr
+	classes []classState
+
+	// chunkMu serialises chunk creation (and hence arena reservations, so
+	// the transfer log's predicted address is exact); logMu serialises use
+	// of the single recycle-log slot.
+	chunkMu sync.Mutex
+	logMu   sync.Mutex
+
+	ulogs ulogPool
+
+	rangeMu sync.RWMutex
+	ranges  []chunkRange // sorted by start
+}
+
+// chunkSize returns the full byte size of a chunk of the class.
+func chunkSize(objSize int64) int64 { return chunkDataOff + ObjectsPerChunk*objSize }
+
+// New formats a fresh EPallocator on the arena. It must be the first
+// reservation made on the arena (the superblock lives at a fixed offset so
+// Attach can find it after a crash).
+func New(arena *pmem.Arena, specs []ClassSpec) (*Allocator, error) {
+	if len(specs) == 0 || len(specs) > MaxClasses {
+		return nil, ErrTooManyClasses
+	}
+	for i, s := range specs {
+		if s.ObjSize <= 0 || s.ObjSize%8 != 0 {
+			return nil, fmt.Errorf("epalloc: class %d (%s) size %d is not a positive multiple of 8",
+				i, s.Name, s.ObjSize)
+		}
+	}
+	sb, err := arena.Reserve(sbSize, 8)
+	if err != nil {
+		return nil, err
+	}
+	if sb != pmem.Ptr(pmem.HeaderSize) {
+		return nil, fmt.Errorf("epalloc: superblock at %d, want %d (allocator must own the arena's first reservation)",
+			sb, pmem.HeaderSize)
+	}
+	a := &Allocator{arena: arena, sb: sb, classes: make([]classState, len(specs))}
+	a.ulogs.cond = sync.NewCond(&a.ulogs.mu)
+	arena.Write8(sb+sbNumClassesOff, uint64(len(specs)))
+	for i, s := range specs {
+		a.classes[i] = classState{spec: s, meta: make(map[pmem.Ptr]*chunkMeta)}
+		ce := a.classEntry(Class(i))
+		arena.Write8(ce+ceObjSizeOff, uint64(s.ObjSize))
+		arena.WritePtr(ce+ceHeadOff, pmem.Nil)
+		arena.WritePtr(ce+ceFreeHeadOff, pmem.Nil)
+	}
+	// Logs start empty (arena memory is zeroed, but be explicit).
+	for off := int64(sbRLogOff); off < sbSize; off += 8 {
+		arena.Write8(sb+pmem.Ptr(off), 0)
+	}
+	// Magic last: an allocator is attachable only once fully formatted.
+	arena.Persist(sb, sbSize)
+	arena.Write8(sb+sbMagicOff, epMagic)
+	arena.Persist(sb+sbMagicOff, 8)
+	return a, nil
+}
+
+// Attach opens an existing EPallocator after a restart or crash. It
+// rebuilds all volatile state by walking the persistent chunk lists and
+// completes any interrupted recycle operation recorded in the recycle log.
+// specs must match the specs the allocator was formatted with (OnReuse
+// hooks are taken from specs; sizes are validated against PM).
+func Attach(arena *pmem.Arena, specs []ClassSpec) (*Allocator, error) {
+	sb := pmem.Ptr(pmem.HeaderSize)
+	if arena.Reserved() < pmem.HeaderSize+sbSize || arena.Read8(sb+sbMagicOff) != epMagic {
+		return nil, ErrBadMagic
+	}
+	n := int(arena.Read8(sb + sbNumClassesOff))
+	if n != len(specs) {
+		return nil, fmt.Errorf("epalloc: superblock has %d classes, caller supplied %d", n, len(specs))
+	}
+	a := &Allocator{arena: arena, sb: sb, classes: make([]classState, n)}
+	a.ulogs.cond = sync.NewCond(&a.ulogs.mu)
+	for i, s := range specs {
+		ce := a.classEntry(Class(i))
+		pmSize := int64(arena.Read8(ce + ceObjSizeOff))
+		if pmSize != s.ObjSize {
+			return nil, fmt.Errorf("epalloc: class %d (%s) size mismatch: PM %d, caller %d",
+				i, s.Name, pmSize, s.ObjSize)
+		}
+		a.classes[i] = classState{spec: s, meta: make(map[pmem.Ptr]*chunkMeta)}
+	}
+	if err := a.recoverLogs(); err != nil {
+		return nil, err
+	}
+	// Rebuild volatile indexes from the persistent lists.
+	for i := range a.classes {
+		c := Class(i)
+		cs := &a.classes[i]
+		seen := make(map[pmem.Ptr]bool)
+		for _, head := range []pmem.Ptr{a.head(c), a.freeHead(c)} {
+			inFree := head == a.freeHead(c) && head != a.head(c)
+			for p := head; !p.IsNil(); p = a.arena.ReadPtr(p + 8) {
+				if seen[p] {
+					return nil, fmt.Errorf("%w: class %s chunk list cycle at %d", ErrCorrupt, cs.spec.Name, p)
+				}
+				seen[p] = true
+				cs.nchunks++
+				a.registerRange(p, c)
+				cs.meta[p] = &chunkMeta{}
+				if !inFree && a.readHeader(p).free() > 0 {
+					cs.meta[p].inAvail = true
+					cs.avail = append(cs.avail, p)
+				}
+			}
+		}
+	}
+	return a, nil
+}
+
+// Arena returns the underlying arena.
+func (a *Allocator) Arena() *pmem.Arena { return a.arena }
+
+// NumClasses returns the number of object classes.
+func (a *Allocator) NumClasses() int { return len(a.classes) }
+
+// ObjSize returns the slot size of a class.
+func (a *Allocator) ObjSize(c Class) int64 { return a.classes[c].spec.ObjSize }
+
+// classEntry returns the PM address of the class table entry.
+func (a *Allocator) classEntry(c Class) pmem.Ptr {
+	return a.sb + sbClassTableOff + pmem.Ptr(int64(c)*ceSize)
+}
+
+// headAddr returns the PM address of the class's chunk-list head field.
+func (a *Allocator) headAddr(c Class) pmem.Ptr { return a.classEntry(c) + ceHeadOff }
+
+// freeHeadAddr returns the PM address of the class's free-list head field.
+func (a *Allocator) freeHeadAddr(c Class) pmem.Ptr { return a.classEntry(c) + ceFreeHeadOff }
+
+// head reads the class's chunk-list head.
+func (a *Allocator) head(c Class) pmem.Ptr { return a.arena.ReadPtr(a.headAddr(c)) }
+
+// freeHead reads the class's free-list head.
+func (a *Allocator) freeHead(c Class) pmem.Ptr { return a.arena.ReadPtr(a.freeHeadAddr(c)) }
+
+// header manipulates the packed 8-byte chunk header.
+type header uint64
+
+const bitmapMask = (uint64(1) << ObjectsPerChunk) - 1
+
+// bitmap extracts the 56-bit occupancy bitmap.
+func (h header) bitmap() uint64 { return uint64(h) & bitmapMask }
+
+// nextFree extracts the 6-bit next-free-slot hint.
+func (h header) nextFree() int { return int(uint64(h) >> 56 & 0x3f) }
+
+// fullIndicator extracts the 2-bit full indicator.
+func (h header) fullIndicator() int { return int(uint64(h) >> 62) }
+
+// free returns the number of clear bitmap bits.
+func (h header) free() int {
+	n := 0
+	for bm := h.bitmap() ^ bitmapMask; bm != 0; bm &= bm - 1 {
+		n++
+	}
+	return n
+}
+
+// makeHeader packs a header.
+func makeHeader(bitmap uint64, nextFree, full int) header {
+	return header(bitmap&bitmapMask | uint64(nextFree&0x3f)<<56 | uint64(full&0x3)<<62)
+}
+
+// readHeader loads a chunk header.
+func (a *Allocator) readHeader(chunk pmem.Ptr) header {
+	return header(a.arena.Read8(chunk))
+}
+
+// writeHeader stores and persists a chunk header; the header is 8 bytes so
+// the commit is failure-atomic.
+func (a *Allocator) writeHeader(chunk pmem.Ptr, h header) {
+	a.arena.Write8(chunk, uint64(h))
+	a.arena.Persist(chunk, 8)
+}
+
+// registerRange records a chunk extent for ChunkOf.
+func (a *Allocator) registerRange(chunk pmem.Ptr, c Class) {
+	end := chunk + pmem.Ptr(chunkSize(a.classes[c].spec.ObjSize))
+	a.rangeMu.Lock()
+	defer a.rangeMu.Unlock()
+	i := sort.Search(len(a.ranges), func(i int) bool { return a.ranges[i].start >= chunk })
+	if i < len(a.ranges) && a.ranges[i].start == chunk {
+		return // re-registration after free-list reuse
+	}
+	a.ranges = append(a.ranges, chunkRange{})
+	copy(a.ranges[i+1:], a.ranges[i:])
+	a.ranges[i] = chunkRange{start: chunk, end: end, class: c}
+}
+
+// lookupRange finds the chunk containing obj.
+func (a *Allocator) lookupRange(obj pmem.Ptr) (chunkRange, bool) {
+	a.rangeMu.RLock()
+	defer a.rangeMu.RUnlock()
+	i := sort.Search(len(a.ranges), func(i int) bool { return a.ranges[i].start > obj })
+	if i == 0 {
+		return chunkRange{}, false
+	}
+	r := a.ranges[i-1]
+	if obj < r.start+chunkDataOff || obj >= r.end {
+		return chunkRange{}, false
+	}
+	return r, true
+}
+
+// ChunkOf returns the chunk containing obj (the paper's MemChunkOf).
+func (a *Allocator) ChunkOf(obj pmem.Ptr) (pmem.Ptr, error) {
+	r, ok := a.lookupRange(obj)
+	if !ok {
+		return pmem.Nil, ErrNotChunkObject
+	}
+	return r.start, nil
+}
+
+// ClassOf returns the class owning obj.
+func (a *Allocator) ClassOf(obj pmem.Ptr) (Class, error) {
+	r, ok := a.lookupRange(obj)
+	if !ok {
+		return 0, ErrNotChunkObject
+	}
+	return r.class, nil
+}
+
+// slotIndex returns the slot number of obj within its chunk. obj must be a
+// slot base address.
+func (a *Allocator) slotIndex(r chunkRange, obj pmem.Ptr) (int, error) {
+	objSize := a.classes[r.class].spec.ObjSize
+	rel := int64(obj - r.start - chunkDataOff)
+	if rel%objSize != 0 {
+		return 0, fmt.Errorf("%w: %d is not a slot base", ErrNotChunkObject, obj)
+	}
+	return int(rel / objSize), nil
+}
+
+// SlotAddr returns the base address of slot idx of a chunk.
+func (a *Allocator) SlotAddr(chunk pmem.Ptr, c Class, idx int) pmem.Ptr {
+	return chunk + chunkDataOff + pmem.Ptr(int64(idx)*a.classes[c].spec.ObjSize)
+}

@@ -1,0 +1,145 @@
+package epalloc
+
+import (
+	"sync"
+
+	"github.com/casl-sdsu/hart/internal/pmem"
+)
+
+// NumUpdateLogs is the size of the persistent update-log pool. The paper's
+// GetMicroLog(UPDATE) hands each in-flight update its own log; HART allows
+// one concurrent writer per ART, so a pool of 64 accommodates far more
+// concurrency than the 16 hardware threads of the paper's testbed.
+const NumUpdateLogs = 64
+
+const ulogSlotSize = 24
+
+// Update-log slot field offsets (paper Algorithm 3).
+const (
+	ulogPLeafOff = 0  // address of the leaf being updated; arms the slot
+	ulogPOldVOff = 8  // address of the old value object
+	ulogPNewVOff = 16 // address of the new value object
+)
+
+// ULog is one persistent update log (Algorithm 3). A ULog is armed once
+// PLeaf is set and disarmed by Reclaim; recovery interprets the three
+// pointers exactly as the paper describes. The slot is exclusively owned
+// between GetUpdateLog and Reclaim.
+type ULog struct {
+	a    *Allocator
+	idx  int
+	base pmem.Ptr
+}
+
+// ulogPool hands out slots from the fixed persistent pool.
+type ulogPool struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	busy uint64
+}
+
+// GetUpdateLog claims a free update-log slot, blocking if all
+// NumUpdateLogs slots are in flight (which cannot happen with fewer than
+// 65 concurrent writers).
+func (a *Allocator) GetUpdateLog() *ULog {
+	p := &a.ulogs
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for {
+		for i := 0; i < NumUpdateLogs; i++ {
+			if p.busy&(1<<uint(i)) == 0 {
+				p.busy |= 1 << uint(i)
+				return &ULog{a: a, idx: i, base: a.ulogAddr(i)}
+			}
+		}
+		p.cond.Wait()
+	}
+}
+
+// ulogAddr returns the PM base address of update-log slot i.
+func (a *Allocator) ulogAddr(i int) pmem.Ptr {
+	return a.sb + sbULogPoolOff + pmem.Ptr(i*ulogSlotSize)
+}
+
+// SetPLeaf records and persists the leaf address, arming the log
+// (Algorithm 3 line 2).
+func (u *ULog) SetPLeaf(p pmem.Ptr) {
+	u.a.arena.WritePtr(u.base+ulogPLeafOff, p)
+	u.a.arena.Persist(u.base+ulogPLeafOff, 8)
+}
+
+// Arm records leaf and old-value addresses with a single persist, merging
+// Algorithm 3 lines 2-3. The merge is semantically safe: recovery treats
+// "PLeaf valid, POldV invalid" and "PLeaf and POldV valid, PNewV invalid"
+// identically (reset the log), so the intermediate ordering of the two
+// stores is unobservable.
+func (u *ULog) Arm(leaf, oldV pmem.Ptr) {
+	u.a.arena.WritePtr(u.base+ulogPLeafOff, leaf)
+	u.a.arena.WritePtr(u.base+ulogPOldVOff, oldV)
+	u.a.arena.Persist(u.base+ulogPLeafOff, 16)
+}
+
+// SetPOldV records and persists the old value address (Algorithm 3 line 3).
+func (u *ULog) SetPOldV(p pmem.Ptr) {
+	u.a.arena.WritePtr(u.base+ulogPOldVOff, p)
+	u.a.arena.Persist(u.base+ulogPOldVOff, 8)
+}
+
+// SetPNewV records and persists the new value address (Algorithm 3 line 6).
+func (u *ULog) SetPNewV(p pmem.Ptr) {
+	u.a.arena.WritePtr(u.base+ulogPNewVOff, p)
+	u.a.arena.Persist(u.base+ulogPNewVOff, 8)
+}
+
+// Reclaim disarms the log (Algorithm 3 line 11) and returns the slot to
+// the pool.
+func (u *ULog) Reclaim() {
+	ar := u.a.arena
+	ar.WritePtr(u.base+ulogPNewVOff, pmem.Nil)
+	ar.WritePtr(u.base+ulogPOldVOff, pmem.Nil)
+	ar.WritePtr(u.base+ulogPLeafOff, pmem.Nil)
+	ar.Persist(u.base, ulogSlotSize)
+	p := &u.a.ulogs
+	p.mu.Lock()
+	p.busy &^= 1 << uint(u.idx)
+	p.cond.Signal()
+	p.mu.Unlock()
+}
+
+// UpdateLogState is a snapshot of one armed update log for recovery.
+type UpdateLogState struct {
+	// Index identifies the slot (for ResetUpdateLogAt).
+	Index int
+	// PLeaf, POldV, PNewV mirror the persistent fields.
+	PLeaf, POldV, PNewV pmem.Ptr
+}
+
+// PendingUpdateLogs returns every armed update log. The semantics of the
+// pointers belong to HART (package core), which interprets and completes
+// them during recovery.
+func (a *Allocator) PendingUpdateLogs() []UpdateLogState {
+	var out []UpdateLogState
+	for i := 0; i < NumUpdateLogs; i++ {
+		base := a.ulogAddr(i)
+		leaf := a.arena.ReadPtr(base + ulogPLeafOff)
+		if leaf.IsNil() {
+			continue
+		}
+		out = append(out, UpdateLogState{
+			Index: i,
+			PLeaf: leaf,
+			POldV: a.arena.ReadPtr(base + ulogPOldVOff),
+			PNewV: a.arena.ReadPtr(base + ulogPNewVOff),
+		})
+	}
+	return out
+}
+
+// ResetUpdateLogAt disarms slot i (recovery's "reset the log").
+func (a *Allocator) ResetUpdateLogAt(i int) {
+	base := a.ulogAddr(i)
+	a.arena.WritePtr(base+ulogPNewVOff, pmem.Nil)
+	a.arena.WritePtr(base+ulogPOldVOff, pmem.Nil)
+	a.arena.WritePtr(base+ulogPLeafOff, pmem.Nil)
+	a.arena.Persist(base, ulogSlotSize)
+}

@@ -1,0 +1,305 @@
+// Package hashdir implements the DRAM hash table at the top of HART
+// (paper Fig. 1): it maps hash keys — the first kh bytes of each record
+// key — to their ARTs.
+//
+// The paper's analysis (Section III.A.1) relies on two properties this
+// implementation provides directly rather than borrowing from Go's map:
+//
+//   - Bounded collision cost. Keys are at most kh bytes, so the key space
+//     is small and fixed; the table grows by doubling at a 75% load
+//     factor, keeping probe sequences short ("the hash collision rate is
+//     always in a low range and the time complexity ... is close to
+//     O(1)").
+//   - Cheap ordered iteration. HART's ordered scans visit ARTs in hash-key
+//     order; the table maintains a sorted key list updated only when a
+//     hash key is inserted or removed, which the paper observes is rare
+//     ("the hash table only needs to insert a new key periodically").
+//
+// The table uses open addressing with linear probing and tombstones,
+// 64-bit FNV-1a hashing, and power-of-two capacities. It is not
+// internally synchronised: HART guards it with its directory lock,
+// matching the paper's locking design (one lock step to find the ART,
+// then per-ART locks).
+package hashdir
+
+import (
+	"sort"
+)
+
+// MaxKeyLen bounds hash-key length; HART's kh is at most the full key
+// length bound (24).
+const MaxKeyLen = 24
+
+const (
+	minBuckets = 16
+	// maxLoadNum/maxLoadDen is the grow threshold (3/4).
+	maxLoadNum = 3
+	maxLoadDen = 4
+)
+
+// slot states, encoded in the keyLen field.
+const (
+	slotEmpty     = 0xff
+	slotTombstone = 0xfe
+)
+
+// slot is one open-addressing cell. Keys are stored inline to avoid
+// per-entry allocations.
+type slot[V any] struct {
+	keyLen byte
+	key    [MaxKeyLen]byte
+	value  V
+}
+
+// Table maps short byte-string keys to values of type V.
+type Table[V any] struct {
+	slots  []slot[V]
+	mask   uint64
+	live   int
+	dead   int // tombstones
+	sorted []string
+}
+
+// New returns an empty table.
+func New[V any]() *Table[V] {
+	t := &Table[V]{}
+	t.init(minBuckets)
+	return t
+}
+
+// init resets the slot array to n buckets (a power of two).
+func (t *Table[V]) init(n int) {
+	t.slots = make([]slot[V], n)
+	for i := range t.slots {
+		t.slots[i].keyLen = slotEmpty
+	}
+	t.mask = uint64(n - 1)
+	t.live = 0
+	t.dead = 0
+}
+
+// hash is 64-bit FNV-1a.
+func hash(key []byte) uint64 {
+	h := uint64(14695981039346656037)
+	for _, b := range key {
+		h = (h ^ uint64(b)) * 1099511628211
+	}
+	return h
+}
+
+// Len returns the number of entries.
+func (t *Table[V]) Len() int { return t.live }
+
+// keyEqual compares a slot's key with key.
+func (s *slot[V]) keyEqual(key []byte) bool {
+	if int(s.keyLen) != len(key) {
+		return false
+	}
+	for i := range key {
+		if s.key[i] != key[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Get returns the value stored under key.
+func (t *Table[V]) Get(key []byte) (V, bool) {
+	var zero V
+	if len(key) > MaxKeyLen {
+		return zero, false
+	}
+	i := hash(key) & t.mask
+	for {
+		s := &t.slots[i]
+		switch s.keyLen {
+		case slotEmpty:
+			return zero, false
+		case slotTombstone:
+			// keep probing
+		default:
+			if s.keyEqual(key) {
+				return s.value, true
+			}
+		}
+		i = (i + 1) & t.mask
+	}
+}
+
+// Put inserts or replaces the value under key, reporting whether the key
+// was newly inserted.
+func (t *Table[V]) Put(key []byte, v V) bool {
+	if len(key) > MaxKeyLen {
+		panic("hashdir: key exceeds MaxKeyLen")
+	}
+	if (t.live+t.dead+1)*maxLoadDen >= len(t.slots)*maxLoadNum {
+		t.grow()
+	}
+	i := hash(key) & t.mask
+	firstTomb := -1
+	for {
+		s := &t.slots[i]
+		switch s.keyLen {
+		case slotEmpty:
+			if firstTomb >= 0 {
+				s = &t.slots[firstTomb]
+				t.dead--
+			}
+			s.keyLen = byte(len(key))
+			copy(s.key[:], key)
+			s.value = v
+			t.live++
+			t.insertSorted(string(key))
+			return true
+		case slotTombstone:
+			if firstTomb < 0 {
+				firstTomb = int(i)
+			}
+		default:
+			if s.keyEqual(key) {
+				s.value = v
+				return false
+			}
+		}
+		i = (i + 1) & t.mask
+	}
+}
+
+// Delete removes key, reporting whether it was present.
+func (t *Table[V]) Delete(key []byte) bool {
+	if len(key) > MaxKeyLen {
+		return false
+	}
+	i := hash(key) & t.mask
+	for {
+		s := &t.slots[i]
+		switch s.keyLen {
+		case slotEmpty:
+			return false
+		case slotTombstone:
+			// keep probing
+		default:
+			if s.keyEqual(key) {
+				var zero V
+				s.keyLen = slotTombstone
+				s.value = zero
+				t.live--
+				t.dead++
+				t.removeSorted(string(key))
+				return true
+			}
+		}
+		i = (i + 1) & t.mask
+	}
+}
+
+// grow doubles capacity (or compacts tombstones at the same size when
+// the live count is low) and rehashes.
+func (t *Table[V]) grow() {
+	old := t.slots
+	n := len(old)
+	if (t.live+1)*maxLoadDen < n*maxLoadNum/2 {
+		// Mostly tombstones: rehash in place at the same capacity.
+	} else {
+		n *= 2
+	}
+	sorted := t.sorted // key set unchanged by rehash
+	t.init(n)
+	t.sorted = sorted
+	for i := range old {
+		s := &old[i]
+		if s.keyLen == slotEmpty || s.keyLen == slotTombstone {
+			continue
+		}
+		t.reinsert(s.key[:s.keyLen], s.value)
+	}
+}
+
+// reinsert adds an entry during rehash (key known absent, no bookkeeping).
+func (t *Table[V]) reinsert(key []byte, v V) {
+	i := hash(key) & t.mask
+	for t.slots[i].keyLen != slotEmpty {
+		i = (i + 1) & t.mask
+	}
+	s := &t.slots[i]
+	s.keyLen = byte(len(key))
+	copy(s.key[:], key)
+	s.value = v
+	t.live++
+}
+
+// insertSorted records a new key in the ordered list.
+func (t *Table[V]) insertSorted(k string) {
+	i := sort.SearchStrings(t.sorted, k)
+	t.sorted = append(t.sorted, "")
+	copy(t.sorted[i+1:], t.sorted[i:])
+	t.sorted[i] = k
+}
+
+// removeSorted drops a key from the ordered list.
+func (t *Table[V]) removeSorted(k string) {
+	if i := sort.SearchStrings(t.sorted, k); i < len(t.sorted) && t.sorted[i] == k {
+		t.sorted = append(t.sorted[:i], t.sorted[i+1:]...)
+	}
+}
+
+// SortedKeys returns the keys in ascending order. The returned slice is
+// shared; callers must not modify it and must copy it before releasing
+// whatever lock guards the table.
+func (t *Table[V]) SortedKeys() []string { return t.sorted }
+
+// Range calls fn for every entry in unspecified order until fn returns
+// false.
+func (t *Table[V]) Range(fn func(key []byte, v V) bool) {
+	for i := range t.slots {
+		s := &t.slots[i]
+		if s.keyLen == slotEmpty || s.keyLen == slotTombstone {
+			continue
+		}
+		if !fn(s.key[:s.keyLen], s.value) {
+			return
+		}
+	}
+}
+
+// Stats describes table occupancy for diagnostics.
+type Stats struct {
+	// Buckets is the slot-array capacity.
+	Buckets int
+	// Live and Tombstones are the entry counts by state.
+	Live, Tombstones int
+	// MaxProbe is the longest probe sequence any current key needs.
+	MaxProbe int
+}
+
+// Stats computes occupancy statistics.
+func (t *Table[V]) Stats() Stats {
+	st := Stats{Buckets: len(t.slots), Live: t.live, Tombstones: t.dead}
+	for i := range t.slots {
+		s := &t.slots[i]
+		if s.keyLen == slotEmpty || s.keyLen == slotTombstone {
+			continue
+		}
+		key := s.key[:s.keyLen]
+		probe := 1
+		for j := hash(key) & t.mask; int(j) != i; j = (j + 1) & t.mask {
+			probe++
+		}
+		if probe > st.MaxProbe {
+			st.MaxProbe = probe
+		}
+	}
+	return st
+}
+
+// DRAMBytes estimates the table's memory footprint (Fig. 10b accounting).
+func (t *Table[V]) DRAMBytes() int64 {
+	var s slot[V]
+	_ = s
+	per := int64(MaxKeyLen + 1 + 16) // key + len + value word (approx)
+	total := int64(len(t.slots)) * per
+	for _, k := range t.sorted {
+		total += int64(len(k)) + 16
+	}
+	return total
+}

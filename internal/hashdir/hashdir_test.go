@@ -1,0 +1,212 @@
+package hashdir
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestPutGetDeleteBasic(t *testing.T) {
+	tb := New[int]()
+	if _, ok := tb.Get([]byte("absent")); ok {
+		t.Fatal("Get on empty table")
+	}
+	if !tb.Put([]byte("aa"), 1) {
+		t.Fatal("first Put reported replacement")
+	}
+	if tb.Put([]byte("aa"), 2) {
+		t.Fatal("second Put reported insertion")
+	}
+	if v, ok := tb.Get([]byte("aa")); !ok || v != 2 {
+		t.Fatalf("Get = (%d,%v)", v, ok)
+	}
+	if tb.Len() != 1 {
+		t.Fatalf("Len = %d", tb.Len())
+	}
+	if !tb.Delete([]byte("aa")) {
+		t.Fatal("Delete failed")
+	}
+	if tb.Delete([]byte("aa")) {
+		t.Fatal("double Delete succeeded")
+	}
+	if tb.Len() != 0 {
+		t.Fatalf("Len = %d after delete", tb.Len())
+	}
+}
+
+func TestGrowthAndProbeBounds(t *testing.T) {
+	tb := New[int]()
+	const n = 10000
+	for i := 0; i < n; i++ {
+		tb.Put([]byte(fmt.Sprintf("%02x%02x", i>>8, i&0xff)), i)
+	}
+	if tb.Len() != n {
+		t.Fatalf("Len = %d", tb.Len())
+	}
+	for i := 0; i < n; i += 97 {
+		v, ok := tb.Get([]byte(fmt.Sprintf("%02x%02x", i>>8, i&0xff)))
+		if !ok || v != i {
+			t.Fatalf("Get(%d) = (%d,%v)", i, v, ok)
+		}
+	}
+	st := tb.Stats()
+	if st.Live != n {
+		t.Fatalf("Stats.Live = %d", st.Live)
+	}
+	// Load factor bounded => probes stay modest.
+	if st.MaxProbe > 64 {
+		t.Fatalf("MaxProbe = %d; load factor violated?", st.MaxProbe)
+	}
+	if (st.Live+st.Tombstones)*maxLoadDen >= st.Buckets*maxLoadNum {
+		t.Fatalf("load factor exceeded: %d live + %d dead in %d buckets",
+			st.Live, st.Tombstones, st.Buckets)
+	}
+}
+
+func TestTombstoneReuseAndCompaction(t *testing.T) {
+	tb := New[int]()
+	// Churn the same small key population far beyond the table size;
+	// tombstone compaction must keep the table from growing unboundedly.
+	for round := 0; round < 200; round++ {
+		for i := 0; i < 50; i++ {
+			tb.Put([]byte(fmt.Sprintf("k%02d", i)), round)
+		}
+		for i := 0; i < 50; i++ {
+			tb.Delete([]byte(fmt.Sprintf("k%02d", i)))
+		}
+	}
+	st := tb.Stats()
+	if st.Buckets > 1024 {
+		t.Fatalf("table grew to %d buckets under churn of 50 keys", st.Buckets)
+	}
+	if tb.Len() != 0 {
+		t.Fatalf("Len = %d", tb.Len())
+	}
+	// Still fully functional.
+	tb.Put([]byte("final"), 42)
+	if v, ok := tb.Get([]byte("final")); !ok || v != 42 {
+		t.Fatal("table broken after churn")
+	}
+}
+
+func TestSortedKeysMaintained(t *testing.T) {
+	tb := New[string]()
+	keys := []string{"zz", "aa", "mm", "a", "zzz", "ab"}
+	for _, k := range keys {
+		tb.Put([]byte(k), k)
+	}
+	got := tb.SortedKeys()
+	want := append([]string(nil), keys...)
+	sort.Strings(want)
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("SortedKeys = %v, want %v", got, want)
+	}
+	tb.Delete([]byte("mm"))
+	if fmt.Sprint(tb.SortedKeys()) != fmt.Sprint([]string{"a", "aa", "ab", "zz", "zzz"}) {
+		t.Fatalf("SortedKeys after delete = %v", tb.SortedKeys())
+	}
+	// Replacement must not duplicate the sorted entry.
+	tb.Put([]byte("aa"), "again")
+	if len(tb.SortedKeys()) != 5 {
+		t.Fatalf("sorted list grew on replacement: %v", tb.SortedKeys())
+	}
+}
+
+func TestRangeVisitsAll(t *testing.T) {
+	tb := New[int]()
+	for i := 0; i < 100; i++ {
+		tb.Put([]byte(fmt.Sprintf("r%03d", i)), i)
+	}
+	seen := map[string]bool{}
+	tb.Range(func(k []byte, v int) bool {
+		seen[string(k)] = true
+		return true
+	})
+	if len(seen) != 100 {
+		t.Fatalf("Range visited %d entries", len(seen))
+	}
+	n := 0
+	tb.Range(func(k []byte, v int) bool { n++; return n < 10 })
+	if n != 10 {
+		t.Fatalf("early stop visited %d", n)
+	}
+}
+
+func TestOversizeKeyPanics(t *testing.T) {
+	tb := New[int]()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("oversize key did not panic")
+		}
+	}()
+	tb.Put(make([]byte, MaxKeyLen+1), 1)
+}
+
+func TestQuickAgainstMap(t *testing.T) {
+	f := func(ops []uint32) bool {
+		tb := New[uint32]()
+		ref := map[string]uint32{}
+		for _, op := range ops {
+			k := fmt.Sprintf("%03d", op%500)
+			switch (op >> 16) % 3 {
+			case 0:
+				tb.Put([]byte(k), op)
+				ref[k] = op
+			case 1:
+				got := tb.Delete([]byte(k))
+				_, want := ref[k]
+				if got != want {
+					return false
+				}
+				delete(ref, k)
+			default:
+				got, ok := tb.Get([]byte(k))
+				want, exists := ref[k]
+				if ok != exists || (ok && got != want) {
+					return false
+				}
+			}
+		}
+		if tb.Len() != len(ref) {
+			return false
+		}
+		keys := tb.SortedKeys()
+		return len(keys) == len(ref) && sort.StringsAreSorted(keys)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+	// A longer deterministic differential run for deeper interleavings.
+	rng := rand.New(rand.NewSource(31))
+	ops := make([]uint32, 20000)
+	for i := range ops {
+		ops[i] = rng.Uint32()
+	}
+	if !f(ops) {
+		t.Fatal("long differential run diverged from map model")
+	}
+}
+
+func TestDRAMBytesPositive(t *testing.T) {
+	tb := New[int]()
+	tb.Put([]byte("x"), 1)
+	if tb.DRAMBytes() <= 0 {
+		t.Fatal("DRAMBytes not positive")
+	}
+}
+
+func BenchmarkGet(b *testing.B) {
+	tb := New[int]()
+	const n = 4096
+	keys := make([][]byte, n)
+	for i := range keys {
+		keys[i] = []byte(fmt.Sprintf("%02x%02x", i>>8, i&0xff))
+		tb.Put(keys[i], i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tb.Get(keys[i%n])
+	}
+}

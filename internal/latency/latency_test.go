@@ -1,0 +1,148 @@
+package latency
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestConfigNames(t *testing.T) {
+	cases := []struct {
+		cfg  Config
+		want string
+	}{
+		{Config300x100(), "300/100"},
+		{Config300x300(), "300/300"},
+		{Config600x300(), "600/300"},
+	}
+	for _, c := range cases {
+		if got := c.cfg.Name(); got != c.want {
+			t.Errorf("Name() = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestDeltas(t *testing.T) {
+	c := Config300x100()
+	if d := c.WriteDeltaNs(); d != 285 {
+		t.Errorf("300/100 write delta = %d, want 285", d)
+	}
+	if d := c.ReadDeltaNs(); d != 0 {
+		t.Errorf("300/100 read delta = %d, want 0 (PM read == DRAM read)", d)
+	}
+	c = Config600x300()
+	if d := c.WriteDeltaNs(); d != 585 {
+		t.Errorf("600/300 write delta = %d, want 585", d)
+	}
+	if d := c.ReadDeltaNs(); d != 200 {
+		t.Errorf("600/300 read delta = %d, want 200", d)
+	}
+	// Negative deltas clamp to zero.
+	neg := Config{PMWriteNs: 10, DRAMWriteNs: 15, PMReadNs: 50, DRAMReadNs: 100}
+	if neg.WriteDeltaNs() != 0 || neg.ReadDeltaNs() != 0 {
+		t.Error("negative deltas must clamp to 0")
+	}
+}
+
+func TestClockAccounting(t *testing.T) {
+	c := NewClock(Config300x300())
+	for i := 0; i < 10; i++ {
+		c.OnPersist(1)
+	}
+	c.OnRead(true)
+	c.OnRead(true)
+	c.OnRead(false)
+	s := c.Snapshot()
+	if s.Persists != 10 {
+		t.Errorf("Persists = %d, want 10", s.Persists)
+	}
+	if s.PMReads != 3 || s.PMReadMisses != 2 {
+		t.Errorf("PMReads/Misses = %d/%d, want 3/2", s.PMReads, s.PMReadMisses)
+	}
+	if want := int64(10 * 285); s.WritePenaltyNs != want {
+		t.Errorf("WritePenaltyNs = %d, want %d", s.WritePenaltyNs, want)
+	}
+	if want := int64(2 * 200); s.ReadPenaltyNs != want {
+		t.Errorf("ReadPenaltyNs = %d, want %d", s.ReadPenaltyNs, want)
+	}
+	if c.PenaltyNs() != s.PenaltyNs() {
+		t.Error("PenaltyNs mismatch between clock and snapshot")
+	}
+	c.Reset()
+	if c.Snapshot() != (Stats{}) {
+		t.Error("Reset did not zero counters")
+	}
+}
+
+func TestModeOffChargesNothing(t *testing.T) {
+	c := NewClock(Off())
+	c.OnPersist(1)
+	c.OnRead(true)
+	if c.PenaltyNs() != 0 {
+		t.Errorf("ModeOff charged %d ns", c.PenaltyNs())
+	}
+	// Counters still tick so stats remain useful.
+	if s := c.Snapshot(); s.Persists != 1 || s.PMReadMisses != 1 {
+		t.Errorf("ModeOff lost counters: %+v", s)
+	}
+}
+
+func TestModeSpinActuallyDelays(t *testing.T) {
+	cfg := Config600x300()
+	cfg.Mode = ModeSpin
+	c := NewClock(cfg)
+	const n = 2000
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		c.OnPersist(1)
+	}
+	elapsed := time.Since(start)
+	// n * 585ns of injected delay; allow generous scheduling slack but
+	// require at least 80% of the nominal delay.
+	if minimum := time.Duration(n*585) * time.Nanosecond * 8 / 10; elapsed < minimum {
+		t.Errorf("spin mode too fast: %v for %d persists, want >= %v", elapsed, n, minimum)
+	}
+}
+
+func TestClockConcurrent(t *testing.T) {
+	c := NewClock(Config300x300())
+	var wg sync.WaitGroup
+	const workers, per = 8, 1000
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c.OnPersist(1)
+				c.OnRead(i%2 == 0)
+			}
+		}()
+	}
+	wg.Wait()
+	s := c.Snapshot()
+	if s.Persists != workers*per {
+		t.Errorf("Persists = %d, want %d", s.Persists, workers*per)
+	}
+	if s.PMReads != workers*per {
+		t.Errorf("PMReads = %d, want %d", s.PMReads, workers*per)
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if ModeOff.String() != "off" || ModeAccount.String() != "account" || ModeSpin.String() != "spin" {
+		t.Error("Mode.String mismatch")
+	}
+}
+
+func TestOnPersistPerLineCharging(t *testing.T) {
+	c := NewClock(Config300x300())
+	c.OnPersist(32) // e.g. a 2 KB node build
+	if got, want := c.Snapshot().WritePenaltyNs, int64(32*285); got != want {
+		t.Errorf("32-line persist charged %d ns, want %d", got, want)
+	}
+	c.Reset()
+	c.OnPersist(0) // defensive: clamps to one line
+	if got := c.Snapshot().WritePenaltyNs; got != 285 {
+		t.Errorf("zero-line persist charged %d ns, want 285", got)
+	}
+}

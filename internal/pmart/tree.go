@@ -1,0 +1,182 @@
+package pmart
+
+import (
+	"bytes"
+	"fmt"
+
+	"github.com/casl-sdsu/hart/internal/pmem"
+)
+
+// Read-side tree operations shared by WOART and ART+CoW. Both trees store
+// the same node layouts; they differ only in how they mutate.
+
+// Terminated returns key with the internal zero terminator appended,
+// making the indexed key set prefix-free.
+func Terminated(key []byte) []byte {
+	tk := make([]byte, len(key)+1)
+	copy(tk, key)
+	return tk
+}
+
+// Lookup descends from root to the leaf holding key, or Nil. The final
+// leaf comparison also covers optimistically skipped prefix bytes.
+func Lookup(a *pmem.Arena, root pmem.Ptr, key []byte) pmem.Ptr {
+	tk := Terminated(key)
+	n := root
+	depth := 0
+	for !n.IsNil() {
+		if IsLeaf(n) {
+			leaf := Untag(n)
+			if LeafMatches(a, leaf, key) {
+				return leaf
+			}
+			return pmem.Nil
+		}
+		full, stored := ReadPrefix(a, n)
+		if len(tk)-depth < full {
+			return pmem.Nil
+		}
+		if !bytes.Equal(stored, tk[depth:depth+len(stored)]) {
+			return pmem.Nil
+		}
+		depth += full
+		if depth >= len(tk) {
+			return pmem.Nil
+		}
+		_, child := FindChild(a, n, tk[depth])
+		n = child
+		depth++
+	}
+	return pmem.Nil
+}
+
+// MinLeaf returns the smallest leaf under n, or Nil.
+func MinLeaf(a *pmem.Arena, n pmem.Ptr) pmem.Ptr {
+	for !n.IsNil() && !IsLeaf(n) {
+		edges := Edges(a, n)
+		if len(edges) == 0 {
+			return pmem.Nil
+		}
+		n = edges[0].Child
+	}
+	return Untag(n)
+}
+
+// RealPrefix recovers the full prefix bytes of node n at tree depth
+// `depth` by consulting the minimum leaf below it; needed whenever
+// full > MaxStoredPrefix.
+func RealPrefix(a *pmem.Arena, n pmem.Ptr, depth, full int) []byte {
+	leaf := MinLeaf(a, n)
+	if leaf.IsNil() {
+		return nil
+	}
+	tk := Terminated(LeafKeyBytes(a, leaf))
+	if depth+full > len(tk) {
+		full = len(tk) - depth
+	}
+	if full < 0 {
+		return nil
+	}
+	return tk[depth : depth+full]
+}
+
+// FullPrefix returns a node's complete prefix bytes, reading the header
+// when it fits and falling back to RealPrefix when it does not.
+func FullPrefix(a *pmem.Arena, n pmem.Ptr, depth int) []byte {
+	full, stored := ReadPrefix(a, n)
+	if full <= len(stored) {
+		return stored
+	}
+	return RealPrefix(a, n, depth, full)
+}
+
+// ReadLeafValue materialises a leaf's value bytes.
+func ReadLeafValue(a *pmem.Arena, leaf pmem.Ptr) []byte {
+	vp, n := UnpackValue(a.Read8(leaf + LeafValueWord))
+	if vp.IsNil() || n <= 0 {
+		return nil
+	}
+	v := make([]byte, n)
+	a.ReadAt(vp, v)
+	return v
+}
+
+// Walk visits leaves under n in ascending key order, applying the
+// [start, end) filter and stopping when fn returns false or end is
+// passed. Returns false when the walk was cut short.
+func Walk(a *pmem.Arena, n pmem.Ptr, start, end []byte, fn func(k, v []byte) bool) bool {
+	if n.IsNil() {
+		return true
+	}
+	if IsLeaf(n) {
+		leaf := Untag(n)
+		k := LeafKeyBytes(a, leaf)
+		if start != nil && bytes.Compare(k, start) < 0 {
+			return true
+		}
+		if end != nil && bytes.Compare(k, end) >= 0 {
+			return false
+		}
+		return fn(k, ReadLeafValue(a, leaf))
+	}
+	for _, e := range Edges(a, n) {
+		if !Walk(a, e.Child, start, end, fn) {
+			return false
+		}
+	}
+	return true
+}
+
+// CountRecords sizes the subtree under n.
+func CountRecords(a *pmem.Arena, n pmem.Ptr) int {
+	if n.IsNil() {
+		return 0
+	}
+	if IsLeaf(n) {
+		return 1
+	}
+	c := 0
+	for _, e := range Edges(a, n) {
+		c += CountRecords(a, e.Child)
+	}
+	return c
+}
+
+// CheckTree validates structural invariants of the tree at root: leaves
+// appear in strictly ascending key order, every leaf's key routes back to
+// that leaf, and the record count matches size.
+func CheckTree(a *pmem.Arena, root pmem.Ptr, size int, name string) error {
+	var prev []byte
+	count := 0
+	var verify func(n pmem.Ptr) error
+	verify = func(n pmem.Ptr) error {
+		if n.IsNil() {
+			return nil
+		}
+		if IsLeaf(n) {
+			k := LeafKeyBytes(a, Untag(n))
+			if prev != nil && bytes.Compare(prev, k) >= 0 {
+				return fmt.Errorf("%s: keys out of order: %q then %q", name, prev, k)
+			}
+			prev = append(prev[:0], k...)
+			count++
+			if got := Lookup(a, root, k); got != Untag(n) {
+				return fmt.Errorf("%s: leaf %q not reachable by its own key", name, k)
+			}
+			return nil
+		}
+		for _, e := range Edges(a, n) {
+			if err := verify(e.Child); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := verify(root); err != nil {
+		return err
+	}
+	if count != size {
+		return fmt.Errorf("%s: traversal found %d records, size counter says %d", name, count, size)
+	}
+	return nil
+}

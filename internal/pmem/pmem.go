@@ -1,0 +1,459 @@
+// Package pmem simulates byte-addressable persistent memory (PM).
+//
+// The paper runs on DRAM standing in for PM; this package gives Go code the
+// same programming model that C code gets on such a platform, which the Go
+// runtime otherwise denies us (the GC moves nothing today but owns all
+// pointers, and Go exposes no CLFLUSH):
+//
+//   - An Arena is a single flat region addressed by 64-bit offsets (Ptr).
+//     Persistent data structures store Ptr values, never Go pointers, so
+//     the garbage collector is irrelevant to persistence, exactly as on a
+//     real DAX mapping.
+//
+//   - Writes land in the volatile view (the "CPU cache" side). Data becomes
+//     durable only when Persist is called on it, modelling the
+//     {MFENCE, CLFLUSH, MFENCE} sequence the paper calls persistent().
+//     With tracking enabled, the Arena maintains a separate durable view;
+//     Crash() discards everything not yet persisted, and crash-point
+//     injection (FailAfterPersists) lets tests crash at every persist
+//     boundary of an algorithm.
+//
+//   - Every PM load and persist is routed through the latency Clock and the
+//     cachesim model, reproducing the paper's PM latency emulation.
+//
+// The first HeaderSize bytes of an arena hold the arena's own metadata
+// (magic, capacity, bump cursor). Reservations are handed out by a
+// persistent bump allocator; structured allocation/free on top of it is the
+// job of package epalloc.
+package pmem
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+
+	"github.com/casl-sdsu/hart/internal/cachesim"
+	"github.com/casl-sdsu/hart/internal/latency"
+)
+
+// Ptr is a persistent pointer: a byte offset into an Arena. The zero value
+// is the nil pointer; offset 0 is occupied by the arena header so no valid
+// object ever has Ptr 0.
+type Ptr uint64
+
+// Nil is the null persistent pointer.
+const Nil Ptr = 0
+
+// IsNil reports whether p is the null pointer.
+func (p Ptr) IsNil() bool { return p == Nil }
+
+// HeaderSize is the number of bytes at the start of every arena reserved
+// for the arena's own metadata.
+const HeaderSize = 64
+
+const (
+	arenaMagic = 0x48415254504d454d // "HARTPMEM"
+
+	offMagic    = 0  // 8B magic
+	offCapacity = 8  // 8B capacity
+	offCursor   = 16 // 8B bump cursor
+)
+
+// lineSize mirrors cachesim.LineSize; persistence granularity is one line.
+const lineSize = cachesim.LineSize
+
+// Errors returned by Arena operations.
+var (
+	// ErrOutOfMemory reports that a reservation exceeded arena capacity.
+	ErrOutOfMemory = errors.New("pmem: arena out of memory")
+	// ErrBadMagic reports that Attach found no valid arena header.
+	ErrBadMagic = errors.New("pmem: bad arena magic")
+	// ErrNoTracking reports that a durability operation requires tracking.
+	ErrNoTracking = errors.New("pmem: durable view requires Tracking mode")
+)
+
+// CrashError is the panic value raised by injected crash points. Tests
+// recover it, take the durable image, and exercise recovery.
+type CrashError struct {
+	// Persists is the number of persists that completed before the crash.
+	Persists int64
+}
+
+// Error implements the error interface.
+func (e CrashError) Error() string {
+	return fmt.Sprintf("pmem: injected crash after %d persists", e.Persists)
+}
+
+// Config parameterises an Arena.
+type Config struct {
+	// Size is the arena capacity in bytes (minimum HeaderSize).
+	Size int64
+	// Tracking enables the durable shadow view and dirty-line accounting
+	// needed by Crash and crash-point injection. It roughly doubles memory
+	// use and slows writes, so benchmarks leave it off.
+	Tracking bool
+	// Latency selects the PM latency emulation; the zero value disables it.
+	Latency latency.Config
+	// Cache optionally supplies a shared CPU cache model for read-latency
+	// accounting. Nil disables cache modelling: with a latency config every
+	// PM read then counts as a miss, without one reads are free.
+	Cache *cachesim.Cache
+}
+
+// Stats is a snapshot of arena counters.
+type Stats struct {
+	// Capacity is the arena size in bytes.
+	Capacity int64
+	// Reserved is the high-water mark of the bump allocator.
+	Reserved int64
+	// Persists counts Persist invocations.
+	Persists int64
+	// PersistedLines counts cache lines flushed by Persist.
+	PersistedLines int64
+	// Reads counts load operations (ReadAt/Read8/ReadByte calls).
+	Reads int64
+	// Writes counts store operations.
+	Writes int64
+	// BytesWritten is the total payload of store operations.
+	BytesWritten int64
+}
+
+// Arena is one simulated PM device. Loads and stores to disjoint regions
+// may proceed concurrently (callers provide their own higher-level
+// locking, as the paper's trees do); reservation and durability operations
+// are internally synchronised.
+type Arena struct {
+	data  []byte
+	clock *latency.Clock
+	cache *cachesim.Cache
+
+	// Tracking state.
+	tracking bool
+	shadowMu sync.Mutex // guards shadow during Persist/Crash snapshots
+	shadow   []byte
+	dirty    []atomic.Uint64 // bitmap, one bit per line
+
+	reserveMu sync.Mutex
+
+	// failAfter < 0 disables injection. Otherwise a Persist that observes
+	// persists == failAfter panics with CrashError before applying.
+	failAfter atomic.Int64
+
+	persists       atomic.Int64
+	persistedLines atomic.Int64
+	reads          atomic.Int64
+	writes         atomic.Int64
+	bytesWritten   atomic.Int64
+}
+
+// New creates and formats a fresh arena.
+func New(cfg Config) (*Arena, error) {
+	if cfg.Size < HeaderSize {
+		return nil, fmt.Errorf("pmem: arena size %d below minimum %d", cfg.Size, HeaderSize)
+	}
+	a := &Arena{
+		data:     make([]byte, cfg.Size),
+		clock:    latency.NewClock(cfg.Latency),
+		cache:    cfg.Cache,
+		tracking: cfg.Tracking,
+	}
+	a.failAfter.Store(-1)
+	if cfg.Tracking {
+		a.shadow = make([]byte, cfg.Size)
+		a.dirty = make([]atomic.Uint64, (numLines(cfg.Size)+63)/64)
+	}
+	binary.LittleEndian.PutUint64(a.data[offMagic:], arenaMagic)
+	binary.LittleEndian.PutUint64(a.data[offCapacity:], uint64(cfg.Size))
+	binary.LittleEndian.PutUint64(a.data[offCursor:], HeaderSize)
+	a.persistRange(0, HeaderSize)
+	return a, nil
+}
+
+// Attach wraps an existing durable image (e.g. one returned by
+// DurableImage, or persisted externally by an application) in a new Arena.
+func Attach(img []byte, cfg Config) (*Arena, error) {
+	return attach(img, cfg)
+}
+
+// attach wraps an existing durable image in a new Arena.
+func attach(img []byte, cfg Config) (*Arena, error) {
+	if len(img) < HeaderSize || binary.LittleEndian.Uint64(img[offMagic:]) != arenaMagic {
+		return nil, ErrBadMagic
+	}
+	a := &Arena{
+		data:     img,
+		clock:    latency.NewClock(cfg.Latency),
+		cache:    cfg.Cache,
+		tracking: cfg.Tracking,
+	}
+	a.failAfter.Store(-1)
+	if cfg.Tracking {
+		a.shadow = make([]byte, len(img))
+		copy(a.shadow, img)
+		a.dirty = make([]atomic.Uint64, (numLines(int64(len(img)))+63)/64)
+	}
+	return a, nil
+}
+
+func numLines(size int64) int64 {
+	return (size + lineSize - 1) / lineSize
+}
+
+// Clock returns the arena's latency clock.
+func (a *Arena) Clock() *latency.Clock { return a.clock }
+
+// Capacity returns the arena size in bytes.
+func (a *Arena) Capacity() int64 { return int64(len(a.data)) }
+
+// Reserved returns the bump-allocator high-water mark.
+func (a *Arena) Reserved() int64 {
+	a.reserveMu.Lock()
+	defer a.reserveMu.Unlock()
+	return int64(binary.LittleEndian.Uint64(a.data[offCursor:]))
+}
+
+// Reserve carves size bytes out of the arena with the given alignment
+// (which must be a power of two; 0 means 8). The cursor update is itself
+// persisted, so reservations are never lost across a crash — a crash can
+// only leak the reserved space, which is precisely the failure mode
+// EPallocator's bitmaps exist to repair.
+func (a *Arena) Reserve(size int64, align int64) (Ptr, error) {
+	if align == 0 {
+		align = 8
+	}
+	if align&(align-1) != 0 {
+		return Nil, fmt.Errorf("pmem: alignment %d is not a power of two", align)
+	}
+	if size <= 0 {
+		return Nil, fmt.Errorf("pmem: invalid reservation size %d", size)
+	}
+	a.reserveMu.Lock()
+	defer a.reserveMu.Unlock()
+	cur := int64(binary.LittleEndian.Uint64(a.data[offCursor:]))
+	start := (cur + align - 1) &^ (align - 1)
+	if start+size > int64(len(a.data)) {
+		return Nil, fmt.Errorf("%w: need %d bytes at %d, capacity %d",
+			ErrOutOfMemory, size, start, len(a.data))
+	}
+	binary.LittleEndian.PutUint64(a.data[offCursor:], uint64(start+size))
+	a.Persist(Ptr(offCursor), 8)
+	return Ptr(start), nil
+}
+
+// check panics if [p, p+size) is out of bounds. Out-of-bounds PM access is
+// a program bug (wild persistent pointer), not a runtime condition.
+func (a *Arena) check(p Ptr, size int) {
+	if p == Nil || int64(p)+int64(size) > int64(len(a.data)) || size < 0 {
+		panic(fmt.Sprintf("pmem: access [%d,%d) out of arena bounds [%d,%d)",
+			p, int64(p)+int64(size), HeaderSize, len(a.data)))
+	}
+}
+
+// chargeRead funnels one PM load through the cache and latency models.
+func (a *Arena) chargeRead(p Ptr, size int) {
+	a.reads.Add(1)
+	miss := true
+	if a.cache != nil {
+		miss = a.cache.Access(uint64(p), size) > 0
+	}
+	a.clock.OnRead(miss)
+}
+
+// chargeWrite funnels one PM store through the cache model (a store brings
+// the line into cache on write-allocate hardware) and the counters. Stores
+// themselves are DRAM-speed; only Persist pays the PM write latency.
+func (a *Arena) chargeWrite(p Ptr, size int) {
+	a.writes.Add(1)
+	a.bytesWritten.Add(int64(size))
+	if a.cache != nil {
+		a.cache.Access(uint64(p), size)
+	}
+}
+
+// markDirty records the written lines as not-yet-durable.
+func (a *Arena) markDirty(p Ptr, size int) {
+	if !a.tracking {
+		return
+	}
+	first := int64(p) / lineSize
+	last := (int64(p) + int64(size) - 1) / lineSize
+	for line := first; line <= last; line++ {
+		a.dirty[line/64].Or(1 << uint(line%64))
+	}
+}
+
+// ReadAt copies len(buf) bytes at p into buf.
+func (a *Arena) ReadAt(p Ptr, buf []byte) {
+	a.check(p, len(buf))
+	a.chargeRead(p, len(buf))
+	copy(buf, a.data[p:int64(p)+int64(len(buf))])
+}
+
+// WriteAt stores data at p.
+func (a *Arena) WriteAt(p Ptr, data []byte) {
+	a.check(p, len(data))
+	a.chargeWrite(p, len(data))
+	copy(a.data[p:int64(p)+int64(len(data))], data)
+	a.markDirty(p, len(data))
+}
+
+// Read8 loads a little-endian uint64 at p. p must be 8-byte aligned so the
+// load is single-copy atomic with respect to crashes.
+func (a *Arena) Read8(p Ptr) uint64 {
+	a.check(p, 8)
+	a.chargeRead(p, 8)
+	return binary.LittleEndian.Uint64(a.data[p:])
+}
+
+// Write8 stores a little-endian uint64 at p (8-byte aligned).
+func (a *Arena) Write8(p Ptr, v uint64) {
+	a.check(p, 8)
+	a.chargeWrite(p, 8)
+	binary.LittleEndian.PutUint64(a.data[p:], v)
+	a.markDirty(p, 8)
+}
+
+// ReadPtr loads a persistent pointer stored at p.
+func (a *Arena) ReadPtr(p Ptr) Ptr { return Ptr(a.Read8(p)) }
+
+// WritePtr stores a persistent pointer at p.
+func (a *Arena) WritePtr(p Ptr, v Ptr) { a.Write8(p, uint64(v)) }
+
+// Read1 loads one byte at p.
+func (a *Arena) Read1(p Ptr) byte {
+	a.check(p, 1)
+	a.chargeRead(p, 1)
+	return a.data[p]
+}
+
+// Write1 stores one byte at p.
+func (a *Arena) Write1(p Ptr, v byte) {
+	a.check(p, 1)
+	a.chargeWrite(p, 1)
+	a.data[p] = v
+	a.markDirty(p, 1)
+}
+
+// Persist is the paper's persistent(): it makes [p, p+size) durable,
+// charges one PM write penalty, and evicts the flushed lines from the
+// simulated cache (CLFLUSH semantics). With crash injection armed, the
+// fatal persist panics with CrashError *before* becoming durable, so the
+// durable image reflects a failure between this persist and the previous
+// one.
+func (a *Arena) Persist(p Ptr, size int) {
+	a.check(p, size)
+	if fa := a.failAfter.Load(); fa >= 0 && a.persists.Load() >= fa {
+		panic(CrashError{Persists: a.persists.Load()})
+	}
+	a.persists.Add(1)
+	first := int64(p) / lineSize
+	last := (int64(p) + int64(size) - 1) / lineSize
+	a.clock.OnPersist(int(last - first + 1))
+	if a.cache != nil {
+		a.cache.Flush(uint64(p), size)
+	}
+	a.persistRange(int64(p), int64(size))
+}
+
+// persistRange flushes lines without charging latency (internal metadata).
+func (a *Arena) persistRange(off, size int64) {
+	first := off / lineSize
+	last := (off + size - 1) / lineSize
+	a.persistedLines.Add(last - first + 1)
+	if !a.tracking {
+		return
+	}
+	a.shadowMu.Lock()
+	defer a.shadowMu.Unlock()
+	for line := first; line <= last; line++ {
+		lo := line * lineSize
+		hi := min(lo+lineSize, int64(len(a.data)))
+		copy(a.shadow[lo:hi], a.data[lo:hi])
+		a.dirty[line/64].And(^uint64(1 << uint(line%64)))
+	}
+}
+
+// FailAfterPersists arms crash injection: the (n+1)-th subsequent Persist
+// (counting from the current persist count) panics with CrashError without
+// taking effect. n = 0 crashes at the very next persist. Pass a negative
+// value to disarm.
+func (a *Arena) FailAfterPersists(n int64) {
+	if n < 0 {
+		a.failAfter.Store(-1)
+		return
+	}
+	a.failAfter.Store(a.persists.Load() + n)
+}
+
+// DisarmCrash cancels any pending injected crash.
+func (a *Arena) DisarmCrash() { a.failAfter.Store(-1) }
+
+// Persists returns the number of completed Persist calls.
+func (a *Arena) Persists() int64 { return a.persists.Load() }
+
+// CrashOptions tune Crash's model of what survives a power failure.
+type CrashOptions struct {
+	// KeepDirtyProb is the probability that each dirty (written but not
+	// persisted) cache line nevertheless reaches the media, modelling
+	// spontaneous cache evictions. 0 is the pessimistic (and default)
+	// model: nothing unflushed survives.
+	KeepDirtyProb float64
+	// Rand supplies randomness when KeepDirtyProb > 0.
+	Rand *rand.Rand
+}
+
+// Crash simulates a power failure and returns a fresh Arena holding only
+// the durable image. The original arena must not be used afterwards.
+// Requires Tracking.
+func (a *Arena) Crash(cfg Config, opts CrashOptions) (*Arena, error) {
+	if !a.tracking {
+		return nil, ErrNoTracking
+	}
+	a.shadowMu.Lock()
+	img := make([]byte, len(a.shadow))
+	copy(img, a.shadow)
+	if opts.KeepDirtyProb > 0 && opts.Rand != nil {
+		for line := int64(0); line < numLines(int64(len(a.data))); line++ {
+			if a.dirty[line/64].Load()&(1<<uint(line%64)) == 0 {
+				continue
+			}
+			if opts.Rand.Float64() < opts.KeepDirtyProb {
+				lo := line * lineSize
+				hi := min(lo+lineSize, int64(len(a.data)))
+				copy(img[lo:hi], a.data[lo:hi])
+			}
+		}
+	}
+	a.shadowMu.Unlock()
+	cfg.Size = int64(len(img))
+	return attach(img, cfg)
+}
+
+// DurableImage returns a copy of the current durable view. Requires
+// Tracking. Useful for asserting exactly what would survive a crash now.
+func (a *Arena) DurableImage() ([]byte, error) {
+	if !a.tracking {
+		return nil, ErrNoTracking
+	}
+	a.shadowMu.Lock()
+	defer a.shadowMu.Unlock()
+	img := make([]byte, len(a.shadow))
+	copy(img, a.shadow)
+	return img, nil
+}
+
+// Stats returns a snapshot of the arena's counters.
+func (a *Arena) Stats() Stats {
+	return Stats{
+		Capacity:       int64(len(a.data)),
+		Reserved:       a.Reserved(),
+		Persists:       a.persists.Load(),
+		PersistedLines: a.persistedLines.Load(),
+		Reads:          a.reads.Load(),
+		Writes:         a.writes.Load(),
+		BytesWritten:   a.bytesWritten.Load(),
+	}
+}

@@ -1,0 +1,337 @@
+package pmem
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"github.com/casl-sdsu/hart/internal/cachesim"
+	"github.com/casl-sdsu/hart/internal/latency"
+)
+
+func newTracked(t *testing.T, size int64) *Arena {
+	t.Helper()
+	a, err := New(Config{Size: size, Tracking: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestNewRejectsTinyArena(t *testing.T) {
+	if _, err := New(Config{Size: 10}); err == nil {
+		t.Fatal("New accepted a sub-header arena")
+	}
+}
+
+func TestReserveAlignmentAndBounds(t *testing.T) {
+	a := newTracked(t, 4096)
+	p1, err := a.Reserve(10, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1 != HeaderSize {
+		t.Fatalf("first reservation at %d, want %d", p1, HeaderSize)
+	}
+	p2, err := a.Reserve(8, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if uint64(p2)%64 != 0 {
+		t.Fatalf("aligned reservation at %d, not 64-aligned", p2)
+	}
+	if _, err := a.Reserve(1<<20, 8); !errors.Is(err, ErrOutOfMemory) {
+		t.Fatalf("oversized reservation error = %v, want ErrOutOfMemory", err)
+	}
+	if _, err := a.Reserve(8, 3); err == nil {
+		t.Fatal("non-power-of-two alignment accepted")
+	}
+	if _, err := a.Reserve(0, 8); err == nil {
+		t.Fatal("zero-size reservation accepted")
+	}
+}
+
+func TestReadWriteRoundTrip(t *testing.T) {
+	a := newTracked(t, 4096)
+	p, _ := a.Reserve(128, 8)
+	msg := []byte("persistent memory simulation")
+	a.WriteAt(p, msg)
+	buf := make([]byte, len(msg))
+	a.ReadAt(p, buf)
+	if !bytes.Equal(buf, msg) {
+		t.Fatalf("round trip: got %q", buf)
+	}
+	a.Write8(p+64, 0xdeadbeefcafe)
+	if got := a.Read8(p + 64); got != 0xdeadbeefcafe {
+		t.Fatalf("Read8 = %x", got)
+	}
+	a.Write1(p+40, 0x7f)
+	if got := a.Read1(p + 40); got != 0x7f {
+		t.Fatalf("Read1 = %x", got)
+	}
+	a.WritePtr(p+72, p)
+	if got := a.ReadPtr(p + 72); got != p {
+		t.Fatalf("ReadPtr = %d, want %d", got, p)
+	}
+}
+
+func TestOutOfBoundsPanics(t *testing.T) {
+	a := newTracked(t, 4096)
+	for name, f := range map[string]func(){
+		"nil read":    func() { a.Read8(Nil) },
+		"past end":    func() { a.Read8(Ptr(4090)) },
+		"write past":  func() { a.WriteAt(Ptr(4000), make([]byte, 200)) },
+		"persist nil": func() { a.Persist(Nil, 8) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestCrashDropsUnpersistedWrites(t *testing.T) {
+	a := newTracked(t, 8192)
+	p, _ := a.Reserve(256, 64)
+	a.WriteAt(p, []byte("durable....."))
+	a.Persist(p, 12)
+	a.WriteAt(p+128, []byte("volatile....")) // never persisted (different line)
+	b, err := a.Crash(Config{Tracking: true}, CrashOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 12)
+	b.ReadAt(p, buf)
+	if string(buf) != "durable....." {
+		t.Fatalf("persisted data lost: %q", buf)
+	}
+	b.ReadAt(p+128, buf)
+	if !bytes.Equal(buf, make([]byte, 12)) {
+		t.Fatalf("unpersisted data survived: %q", buf)
+	}
+}
+
+func TestCrashLineGranularity(t *testing.T) {
+	// Persisting any byte of a line makes the whole line durable — exactly
+	// like CLFLUSH. Unpersisted bytes of *other* lines vanish.
+	a := newTracked(t, 8192)
+	p, _ := a.Reserve(256, 64)
+	a.WriteAt(p, bytes.Repeat([]byte{0xAA}, 128)) // two lines
+	a.Persist(p, 1)                               // flushes line 0 only
+	b, err := a.Crash(Config{Tracking: true}, CrashOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 128)
+	b.ReadAt(p, buf)
+	if buf[0] != 0xAA || buf[63] != 0xAA {
+		t.Fatal("line 0 not durable after persist")
+	}
+	if buf[64] != 0 {
+		t.Fatal("line 1 became durable without persist")
+	}
+}
+
+func TestCrashKeepDirtyProb(t *testing.T) {
+	a := newTracked(t, 1<<16)
+	p, _ := a.Reserve(1<<12, 64)
+	for i := int64(0); i < 64; i++ {
+		a.Write8(p+Ptr(i*64), uint64(i)+1)
+	}
+	// With probability 1 every dirty line survives the crash.
+	b, err := a.Crash(Config{Tracking: true}, CrashOptions{KeepDirtyProb: 1, Rand: rand.New(rand.NewSource(1))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < 64; i++ {
+		if got := b.Read8(p + Ptr(i*64)); got != uint64(i)+1 {
+			t.Fatalf("line %d lost despite KeepDirtyProb=1", i)
+		}
+	}
+}
+
+func TestCursorSurvivesCrash(t *testing.T) {
+	a := newTracked(t, 8192)
+	a.Reserve(100, 8)
+	want := a.Reserved()
+	b, err := a.Crash(Config{Tracking: true}, CrashOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Reserved() != want {
+		t.Fatalf("cursor after crash = %d, want %d", b.Reserved(), want)
+	}
+	// New reservations continue past the old cursor.
+	p, err := b.Reserve(8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(p) < want {
+		t.Fatalf("post-crash reservation %d overlaps pre-crash space", p)
+	}
+}
+
+func TestCrashRequiresTracking(t *testing.T) {
+	a, _ := New(Config{Size: 4096})
+	if _, err := a.Crash(Config{}, CrashOptions{}); !errors.Is(err, ErrNoTracking) {
+		t.Fatalf("Crash without tracking: %v", err)
+	}
+	if _, err := a.DurableImage(); !errors.Is(err, ErrNoTracking) {
+		t.Fatalf("DurableImage without tracking: %v", err)
+	}
+}
+
+func TestFailAfterPersists(t *testing.T) {
+	a := newTracked(t, 8192)
+	p, _ := a.Reserve(64, 64)
+	a.FailAfterPersists(2)
+	a.Write8(p, 1)
+	a.Persist(p, 8) // ok
+	a.Write8(p, 2)
+	a.Persist(p, 8) // ok
+	a.Write8(p, 3)
+	func() {
+		defer func() {
+			r := recover()
+			ce, ok := r.(CrashError)
+			if !ok {
+				t.Fatalf("panic value %v, want CrashError", r)
+			}
+			if ce.Persists == 0 {
+				t.Fatal("CrashError has zero persist count")
+			}
+		}()
+		a.Persist(p, 8) // must panic, leaving value 2 durable
+	}()
+	b, err := a.Crash(Config{Tracking: true}, CrashOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := b.Read8(p); got != 2 {
+		t.Fatalf("durable value = %d, want 2 (third persist must not apply)", got)
+	}
+	// Disarm works.
+	a.DisarmCrash()
+	a.Persist(p, 8)
+}
+
+func TestLatencyAccounting(t *testing.T) {
+	a, err := New(Config{
+		Size:    1 << 16,
+		Latency: latency.Config300x300(),
+		Cache:   cachesim.New(1<<14, 4),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, _ := a.Reserve(256, 64)
+	base := a.Clock().Snapshot()
+	a.Write8(p, 7)
+	a.Persist(p, 8)
+	s := a.Clock().Snapshot()
+	if s.Persists != base.Persists+1 {
+		t.Fatalf("persist not charged: %+v", s)
+	}
+	if s.WritePenaltyNs <= base.WritePenaltyNs {
+		t.Fatal("write penalty not charged")
+	}
+	// Persist flushed the line, so the next read misses and pays.
+	preMiss := a.Clock().Snapshot().PMReadMisses
+	a.Read8(p)
+	if a.Clock().Snapshot().PMReadMisses != preMiss+1 {
+		t.Fatal("post-flush read should miss")
+	}
+	// Second read hits (no charge).
+	preMiss = a.Clock().Snapshot().PMReadMisses
+	a.Read8(p)
+	if a.Clock().Snapshot().PMReadMisses != preMiss {
+		t.Fatal("cached read should hit")
+	}
+}
+
+func TestStats(t *testing.T) {
+	a := newTracked(t, 8192)
+	p, _ := a.Reserve(128, 8)
+	a.WriteAt(p, make([]byte, 100))
+	a.Persist(p, 100)
+	a.ReadAt(p, make([]byte, 10))
+	s := a.Stats()
+	if s.Capacity != 8192 || s.Reserved < HeaderSize+128 {
+		t.Fatalf("capacity/reserved wrong: %+v", s)
+	}
+	if s.Writes == 0 || s.Reads == 0 || s.Persists == 0 || s.BytesWritten < 100 {
+		t.Fatalf("counters not ticking: %+v", s)
+	}
+	if s.PersistedLines < 2 {
+		t.Fatalf("100-byte persist flushed %d lines, want >= 2", s.PersistedLines)
+	}
+}
+
+func TestConcurrentDisjointWriters(t *testing.T) {
+	a := newTracked(t, 1<<20)
+	const workers = 8
+	ps := make([]Ptr, workers)
+	for i := range ps {
+		p, err := a.Reserve(1024, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ps[i] = p
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				a.Write8(ps[w]+Ptr(8*(i%128)), uint64(w*1000+i))
+				a.Persist(ps[w]+Ptr(8*(i%128)), 8)
+			}
+		}(w)
+	}
+	wg.Wait()
+	for w := 0; w < workers; w++ {
+		if got := a.Read8(ps[w] + Ptr(8*((500-1)%128))); got != uint64(w*1000+499) {
+			t.Fatalf("worker %d data corrupted: %d", w, got)
+		}
+	}
+}
+
+func TestConcurrentReserve(t *testing.T) {
+	a := newTracked(t, 1<<20)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	seen := map[Ptr]bool{}
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				p, err := a.Reserve(64, 8)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				mu.Lock()
+				if seen[p] {
+					t.Errorf("duplicate reservation %d", p)
+				}
+				seen[p] = true
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestAttachValidatesMagic(t *testing.T) {
+	if _, err := attach(make([]byte, 4096), Config{}); !errors.Is(err, ErrBadMagic) {
+		t.Fatalf("attach on zero image: %v", err)
+	}
+}

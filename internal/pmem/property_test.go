@@ -1,0 +1,91 @@
+package pmem
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestQuickDurableViewMatchesPersistHistory is the fundamental persistence
+// property: after an arbitrary interleaving of writes and persists, the
+// durable image holds, for every byte, the value the byte had at the time
+// its cache line was last persisted (zero if never persisted).
+func TestQuickDurableViewMatchesPersistHistory(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		const region = 1 << 12
+		a, err := New(Config{Size: region + HeaderSize + 64, Tracking: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		base, err := a.Reserve(region, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Model: current volatile bytes and the durable snapshot.
+		volatileB := make([]byte, region)
+		durable := make([]byte, region)
+		for op := 0; op < 500; op++ {
+			off := rng.Intn(region - 16)
+			if rng.Intn(3) < 2 { // write 1-16 bytes
+				n := 1 + rng.Intn(16)
+				buf := make([]byte, n)
+				rng.Read(buf)
+				a.WriteAt(base+Ptr(off), buf)
+				copy(volatileB[off:], buf)
+			} else { // persist 1-128 bytes
+				n := 1 + rng.Intn(128)
+				if off+n > region {
+					n = region - off
+				}
+				a.Persist(base+Ptr(off), n)
+				// Model line-granular durability.
+				first := (int(base) + off) / 64 * 64
+				last := (int(base) + off + n - 1) / 64 * 64
+				for line := first; line <= last; line += 64 {
+					lo := line - int(base)
+					hi := lo + 64
+					if lo < 0 {
+						lo = 0
+					}
+					if hi > region {
+						hi = region
+					}
+					copy(durable[lo:hi], volatileB[lo:hi])
+				}
+			}
+		}
+		img, err := a.DurableImage()
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := img[base : int(base)+region]
+		for i := range durable {
+			if got[i] != durable[i] {
+				t.Fatalf("seed %d: durable[%d] = %#x, model %#x", seed, i, got[i], durable[i])
+			}
+		}
+	}
+}
+
+// TestPersistIsIdempotent: re-persisting unchanged data is harmless and
+// the durable view converges to the volatile view once everything is
+// persisted.
+func TestPersistIsIdempotent(t *testing.T) {
+	a, err := New(Config{Size: 8192, Tracking: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, _ := a.Reserve(1024, 64)
+	data := make([]byte, 1024)
+	rand.New(rand.NewSource(9)).Read(data)
+	a.WriteAt(p, data)
+	a.Persist(p, 1024)
+	a.Persist(p, 1024)
+	a.Persist(p+100, 8)
+	img, _ := a.DurableImage()
+	for i, b := range data {
+		if img[int(p)+i] != b {
+			t.Fatalf("byte %d diverged after repeated persists", i)
+		}
+	}
+}

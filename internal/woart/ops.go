@@ -1,0 +1,328 @@
+package woart
+
+import (
+	"bytes"
+
+	"github.com/casl-sdsu/hart/internal/pmart"
+	"github.com/casl-sdsu/hart/internal/pmem"
+)
+
+// Put implements kv.Index: insert or update.
+func (t *Tree) Put(key, value []byte) error {
+	if err := validate(key, value, true); err != nil {
+		return err
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.insert(t.rootSlot(), t.root(), pmart.Terminated(key), 0, key, value)
+}
+
+// Update implements kv.Index: overwrite an existing record only.
+func (t *Tree) Update(key, value []byte) error {
+	if err := validate(key, value, true); err != nil {
+		return err
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	leaf := t.lookup(key)
+	if leaf.IsNil() {
+		return ErrNotFound
+	}
+	return t.updateLeaf(leaf, value)
+}
+
+// updateLeaf swings a leaf to a freshly persisted value object with one
+// atomic value-word store (the mechanism the paper uses identically in
+// HART, WOART and ART+CoW), then frees the old object. WOART has no
+// update log: a crash after allocation but before the swing leaks the new
+// object — the exposure the paper contrasts with HART.
+func (t *Tree) updateLeaf(leaf pmem.Ptr, value []byte) error {
+	w, err := t.newValue(value)
+	if err != nil {
+		return err
+	}
+	old := t.arena.Read8(leaf + pmart.LeafValueWord)
+	t.arena.Write8(leaf+pmart.LeafValueWord, w)
+	t.arena.Persist(leaf+pmart.LeafValueWord, 8)
+	t.freeValueWord(old)
+	return nil
+}
+
+// commonPrefixLen returns the longest common prefix length of a and b.
+func commonPrefixLen(a, b []byte) int {
+	n := min(len(a), len(b))
+	i := 0
+	for i < n && a[i] == b[i] {
+		i++
+	}
+	return i
+}
+
+// insert adds key below the node referenced by *slot. tk is the
+// terminated key; depth counts consumed bytes of tk.
+func (t *Tree) insert(slot, n pmem.Ptr, tk []byte, depth int, key, value []byte) error {
+	if n.IsNil() {
+		// Empty subtree: build the leaf off to the side and publish it
+		// with one atomic pointer store.
+		w, err := t.newValue(value)
+		if err != nil {
+			return err
+		}
+		leaf, err := pmart.BuildLeaf(t.arena, t.na, key, w)
+		if err != nil {
+			return err
+		}
+		pmart.ReplaceChildAt(t.arena, slot, pmart.TagLeaf(leaf))
+		t.size++
+		return nil
+	}
+
+	if pmart.IsLeaf(n) {
+		leaf := pmart.Untag(n)
+		if pmart.LeafMatches(t.arena, leaf, key) {
+			return t.updateLeaf(leaf, value)
+		}
+		// Lazy-expansion split: a NODE4 adopts the old and new leaves.
+		lk := pmart.Terminated(pmart.LeafKeyBytes(t.arena, leaf))
+		cp := commonPrefixLen(lk[depth:], tk[depth:])
+		w, err := t.newValue(value)
+		if err != nil {
+			return err
+		}
+		newLeaf, err := pmart.BuildLeaf(t.arena, t.na, key, w)
+		if err != nil {
+			return err
+		}
+		n4, err := pmart.BuildNode(t.arena, t.na, pmart.TypeNode4, tk[depth:depth+cp], []pmart.Edge{
+			{Byte: lk[depth+cp], Child: n},
+			{Byte: tk[depth+cp], Child: pmart.TagLeaf(newLeaf)},
+		})
+		if err != nil {
+			return err
+		}
+		pmart.ReplaceChildAt(t.arena, slot, n4)
+		t.size++
+		return nil
+	}
+
+	full, stored := pmart.ReadPrefix(t.arena, n)
+	prefix := stored
+	if full > len(stored) {
+		prefix = pmart.RealPrefix(t.arena, n, depth, full)
+	}
+	rest := tk[depth:]
+	cp := commonPrefixLen(prefix, rest)
+	if cp < full {
+		// The key diverges inside n's compressed path. Clone n with the
+		// shortened prefix, hang clone + new leaf under a fresh NODE4 and
+		// publish with one pointer swap (in-place prefix edits cannot be
+		// made failure-atomic together with the parent update).
+		clone, err := t.cloneWithPrefix(n, prefix[cp+1:])
+		if err != nil {
+			return err
+		}
+		w, err := t.newValue(value)
+		if err != nil {
+			return err
+		}
+		newLeaf, err := pmart.BuildLeaf(t.arena, t.na, key, w)
+		if err != nil {
+			return err
+		}
+		n4, err := pmart.BuildNode(t.arena, t.na, pmart.TypeNode4, prefix[:cp], []pmart.Edge{
+			{Byte: prefix[cp], Child: clone},
+			{Byte: rest[cp], Child: pmart.TagLeaf(newLeaf)},
+		})
+		if err != nil {
+			return err
+		}
+		pmart.ReplaceChildAt(t.arena, slot, n4)
+		t.na.Free(n, pmart.SizeOf(pmart.NodeType(t.arena, n)))
+		t.size++
+		return nil
+	}
+	depth += full
+
+	b := tk[depth]
+	childSlot, child := pmart.FindChild(t.arena, n, b)
+	if !child.IsNil() {
+		return t.insert(childSlot, child, tk, depth+1, key, value)
+	}
+
+	// New edge on n: build the leaf, then publish it with the node kind's
+	// atomic in-place protocol, growing the node when full.
+	w, err := t.newValue(value)
+	if err != nil {
+		return err
+	}
+	leaf, err := pmart.BuildLeaf(t.arena, t.na, key, w)
+	if err != nil {
+		return err
+	}
+	if !pmart.AddChildInPlace(t.arena, n, b, pmart.TagLeaf(leaf)) {
+		edges := append(pmart.Edges(t.arena, n), pmart.Edge{Byte: b, Child: pmart.TagLeaf(leaf)})
+		typ := pmart.NodeType(t.arena, n)
+		grown, err := pmart.BuildNode(t.arena, t.na, pmart.GrownType(typ), prefix, edges)
+		if err != nil {
+			return err
+		}
+		pmart.ReplaceChildAt(t.arena, slot, grown)
+		t.na.Free(n, pmart.SizeOf(typ))
+	}
+	t.size++
+	return nil
+}
+
+// cloneWithPrefix rebuilds n with a different compressed path.
+func (t *Tree) cloneWithPrefix(n pmem.Ptr, prefix []byte) (pmem.Ptr, error) {
+	typ := pmart.NodeType(t.arena, n)
+	return pmart.BuildNode(t.arena, t.na, typ, prefix, pmart.Edges(t.arena, n))
+}
+
+// Delete implements kv.Index.
+func (t *Tree) Delete(key []byte) error {
+	if err := validate(key, nil, false); err != nil {
+		return err
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	removed, err := t.remove(t.rootSlot(), t.root(), pmart.Terminated(key), 0, key)
+	if err != nil {
+		return err
+	}
+	if !removed {
+		return ErrNotFound
+	}
+	t.size--
+	return nil
+}
+
+// remove deletes key from the subtree at *slot.
+func (t *Tree) remove(slot, n pmem.Ptr, tk []byte, depth int, key []byte) (bool, error) {
+	if n.IsNil() {
+		return false, nil
+	}
+	if pmart.IsLeaf(n) {
+		leaf := pmart.Untag(n)
+		if !pmart.LeafMatches(t.arena, leaf, key) {
+			return false, nil
+		}
+		// Unpublish with one atomic store, then release the space.
+		pmart.ReplaceChildAt(t.arena, slot, pmem.Nil)
+		t.freeValueWord(t.arena.Read8(leaf + pmart.LeafValueWord))
+		t.na.Free(leaf, pmart.LeafSize)
+		return true, nil
+	}
+
+	full, stored := pmart.ReadPrefix(t.arena, n)
+	if len(tk)-depth < full || !bytes.Equal(stored, tk[depth:depth+len(stored)]) {
+		return false, nil
+	}
+	depth += full
+	if depth >= len(tk) {
+		return false, nil
+	}
+	b := tk[depth]
+	childSlot, child := pmart.FindChild(t.arena, n, b)
+	if child.IsNil() {
+		return false, nil
+	}
+
+	if pmart.IsLeaf(child) {
+		leaf := pmart.Untag(child)
+		if !pmart.LeafMatches(t.arena, leaf, key) {
+			return false, nil
+		}
+		// Unpublish via the node kind's atomic protocol, release, then
+		// restore shape invariants.
+		pmart.RemoveChildInPlace(t.arena, n, b)
+		t.freeValueWord(t.arena.Read8(leaf + pmart.LeafValueWord))
+		t.na.Free(leaf, pmart.LeafSize)
+		return true, t.fixupAfterRemove(slot, n, depth-full)
+	}
+	ok, err := t.remove(childSlot, child, tk, depth+1, key)
+	if err != nil || !ok {
+		return ok, err
+	}
+	return true, nil
+}
+
+// fixupAfterRemove restores shape invariants of n (published at *slot)
+// after one of its leaf children was removed: an empty node unlinks, a
+// single-child node merges into its child's path, an underfull node
+// shrinks to the smaller kind. Each case builds the replacement off to
+// the side and publishes it with one atomic swap.
+func (t *Tree) fixupAfterRemove(slot, n pmem.Ptr, depth int) error {
+	typ := pmart.NodeType(t.arena, n)
+	c := pmart.CountChildren(t.arena, n)
+	switch {
+	case c == 0:
+		pmart.ReplaceChildAt(t.arena, slot, pmem.Nil)
+		t.na.Free(n, pmart.SizeOf(typ))
+		return nil
+
+	case c == 1:
+		edges := pmart.Edges(t.arena, n)
+		e := edges[0]
+		if pmart.IsLeaf(e.Child) {
+			pmart.ReplaceChildAt(t.arena, slot, e.Child)
+			t.na.Free(n, pmart.SizeOf(typ))
+			return nil
+		}
+		// Merge paths: child prefix becomes nPrefix + edge byte + childPrefix.
+		full, stored := pmart.ReadPrefix(t.arena, n)
+		np := stored
+		if full > len(stored) {
+			np = pmart.RealPrefix(t.arena, n, depth, full)
+		}
+		cfull, cstored := pmart.ReadPrefix(t.arena, e.Child)
+		cp := cstored
+		if cfull > len(cstored) {
+			cp = pmart.RealPrefix(t.arena, e.Child, depth+full+1, cfull)
+		}
+		merged := make([]byte, 0, len(np)+1+len(cp))
+		merged = append(merged, np...)
+		merged = append(merged, e.Byte)
+		merged = append(merged, cp...)
+		clone, err := pmart.BuildNode(t.arena, t.na, pmart.NodeType(t.arena, e.Child), merged,
+			pmart.Edges(t.arena, e.Child))
+		if err != nil {
+			return err
+		}
+		pmart.ReplaceChildAt(t.arena, slot, clone)
+		t.na.Free(e.Child, pmart.SizeOf(pmart.NodeType(t.arena, e.Child)))
+		t.na.Free(n, pmart.SizeOf(typ))
+		return nil
+	}
+
+	if smaller, threshold := pmart.ShrunkType(typ); threshold > 0 && c <= threshold {
+		full, stored := pmart.ReadPrefix(t.arena, n)
+		np := stored
+		if full > len(stored) {
+			np = pmart.RealPrefix(t.arena, n, depth, full)
+		}
+		shrunk, err := pmart.BuildNode(t.arena, t.na, smaller, np, pmart.Edges(t.arena, n))
+		if err != nil {
+			return err
+		}
+		pmart.ReplaceChildAt(t.arena, slot, shrunk)
+		t.na.Free(n, pmart.SizeOf(typ))
+	}
+	return nil
+}
+
+// Scan implements kv.Index: in-order traversal with [start, end) filter.
+func (t *Tree) Scan(start, end []byte, fn func(key, value []byte) bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	pmart.Walk(t.arena, t.root(), start, end, fn)
+}
+
+// Check verifies structural invariants: leaves appear in strictly
+// ascending key order, every leaf is reachable by its own key, and the
+// record count matches.
+func (t *Tree) Check() error {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return pmart.CheckTree(t.arena, t.root(), t.size, "woart")
+}

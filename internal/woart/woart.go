@@ -1,0 +1,211 @@
+// Package woart implements WOART (Write Optimal Adaptive Radix Tree, Lee
+// et al., FAST 2017), the strongest radix-tree competitor in the HART
+// paper's evaluation.
+//
+// WOART is a *pure PM* tree: every node — internal and leaf — lives on
+// persistent memory and every structural change is made failure-atomic
+// with fine-grained ordered persists:
+//
+//   - NODE4 publishes an insertion with one atomic 8-byte slot-word store
+//     (4 key bytes + valid nibble) after the child pointer is durable.
+//   - NODE16 publishes via one atomic bitmap store.
+//   - NODE48 publishes via one atomic 1-byte index store.
+//   - NODE256 publishes via the atomic child-pointer store itself.
+//   - Node growth, shrink and path splits build the replacement node off
+//     to the side, persist it completely, and publish it with one atomic
+//     parent-pointer swap.
+//
+// Because internal nodes are persistent, WOART pays a persist for every
+// structural store — the cost HART avoids by keeping internal nodes in
+// DRAM. WOART needs no rebuild after a crash (the paper's Fig. 10c notes
+// pure-PM trees skip recovery), but its allocator cannot tell which
+// freed/in-flight blocks were lost, so crashes can leak PM — the exposure
+// the paper contrasts with EPallocator's bitmaps.
+//
+// Keys must not contain 0x00: the tree appends a zero terminator
+// internally (as the libart-derived implementations the paper builds on
+// do for C strings), which keeps the key set prefix-free.
+package woart
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+
+	"github.com/casl-sdsu/hart/internal/cachesim"
+	"github.com/casl-sdsu/hart/internal/kv"
+	"github.com/casl-sdsu/hart/internal/latency"
+	"github.com/casl-sdsu/hart/internal/pmart"
+	"github.com/casl-sdsu/hart/internal/pmem"
+)
+
+// Superblock layout (first reservation, fixed offset).
+const (
+	sbMagicOff = 0
+	sbRootOff  = 8
+	sbSize     = 16
+
+	woartMagic = 0x574f415254000001 // "WOART"
+)
+
+// Errors returned by the tree.
+var (
+	// ErrNotFound reports a missing key.
+	ErrNotFound = errors.New("woart: key not found")
+	// ErrBadKey reports an empty, oversized or zero-containing key.
+	ErrBadKey = errors.New("woart: invalid key")
+	// ErrBadValue reports an empty or oversized value.
+	ErrBadValue = errors.New("woart: invalid value")
+)
+
+// Options configures a tree.
+type Options struct {
+	// ArenaSize is the simulated PM capacity (default 64 MiB).
+	ArenaSize int64
+	// Latency selects PM latency emulation.
+	Latency latency.Config
+	// CacheModel attaches a simulated CPU cache.
+	CacheModel bool
+	// Tracking enables crash simulation.
+	Tracking bool
+}
+
+// Tree is one WOART instance.
+type Tree struct {
+	mu    sync.RWMutex
+	arena *pmem.Arena
+	na    *pmart.NodeAlloc
+	sb    pmem.Ptr
+	size  int
+}
+
+var _ kv.Index = (*Tree)(nil)
+
+// New creates a WOART over a fresh arena.
+func New(opts Options) (*Tree, error) {
+	if opts.ArenaSize == 0 {
+		opts.ArenaSize = 64 << 20
+	}
+	var cache *cachesim.Cache
+	if opts.CacheModel {
+		cache = cachesim.Default()
+	}
+	arena, err := pmem.New(pmem.Config{
+		Size: opts.ArenaSize, Tracking: opts.Tracking, Latency: opts.Latency, Cache: cache,
+	})
+	if err != nil {
+		return nil, err
+	}
+	sb, err := arena.Reserve(sbSize, 8)
+	if err != nil {
+		return nil, err
+	}
+	arena.Write8(sb+sbRootOff, 0)
+	arena.Write8(sb+sbMagicOff, woartMagic)
+	arena.Persist(sb, sbSize)
+	return &Tree{arena: arena, na: pmart.NewNodeAlloc(arena), sb: sb}, nil
+}
+
+// Open attaches to an existing arena. WOART keeps its entire structure on
+// PM, so "recovery" is only re-deriving the volatile record count.
+func Open(arena *pmem.Arena) (*Tree, error) {
+	sb := pmem.Ptr(pmem.HeaderSize)
+	if arena.Reserved() < pmem.HeaderSize+sbSize || arena.Read8(sb+sbMagicOff) != woartMagic {
+		return nil, errors.New("woart: no tree in arena")
+	}
+	t := &Tree{arena: arena, na: pmart.NewNodeAlloc(arena), sb: sb}
+	t.size = pmart.CountRecords(arena, t.root())
+	return t, nil
+}
+
+// Name implements kv.Index.
+func (t *Tree) Name() string { return "WOART" }
+
+// Arena implements kv.Index.
+func (t *Tree) Arena() *pmem.Arena { return t.arena }
+
+// Len implements kv.Index.
+func (t *Tree) Len() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.size
+}
+
+// Close implements kv.Index.
+func (t *Tree) Close() error { return nil }
+
+// SizeInfo implements kv.Index: everything is on PM.
+func (t *Tree) SizeInfo() kv.SizeInfo {
+	return kv.SizeInfo{PMBytes: t.arena.Reserved()}
+}
+
+// root loads the persistent root pointer.
+func (t *Tree) root() pmem.Ptr { return t.arena.ReadPtr(t.sb + sbRootOff) }
+
+// rootSlot is the PM address of the root pointer.
+func (t *Tree) rootSlot() pmem.Ptr { return t.sb + sbRootOff }
+
+// validate enforces the key/value contract.
+func validate(key, value []byte, needValue bool) error {
+	if len(key) == 0 || len(key) > pmart.MaxKeyLen || bytes.IndexByte(key, 0) >= 0 {
+		return fmt.Errorf("%w: %q", ErrBadKey, key)
+	}
+	if needValue && (len(value) == 0 || len(value) > 16) {
+		return fmt.Errorf("%w: %d bytes", ErrBadValue, len(value))
+	}
+	return nil
+}
+
+// valueSize rounds a value length to its PM block size.
+func valueSize(n int) int64 {
+	if n <= 8 {
+		return 8
+	}
+	return 16
+}
+
+// newValue allocates, writes and persists a value object, returning the
+// packed leaf value word.
+func (t *Tree) newValue(value []byte) (uint64, error) {
+	vp, err := t.na.Alloc(valueSize(len(value)))
+	if err != nil {
+		return 0, err
+	}
+	t.arena.WriteAt(vp, value)
+	t.arena.Persist(vp, len(value))
+	return pmart.PackValue(vp, len(value)), nil
+}
+
+// freeValueWord releases a value object to the volatile free list.
+func (t *Tree) freeValueWord(w uint64) {
+	vp, n := pmart.UnpackValue(w)
+	if !vp.IsNil() {
+		t.na.Free(vp, valueSize(n))
+	}
+}
+
+// Get implements kv.Index (search with final leaf verification).
+func (t *Tree) Get(key []byte) ([]byte, bool) {
+	if validate(key, nil, false) != nil {
+		return nil, false
+	}
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	leaf := t.lookup(key)
+	if leaf.IsNil() {
+		return nil, false
+	}
+	vp, n := pmart.UnpackValue(t.arena.Read8(leaf + pmart.LeafValueWord))
+	if vp.IsNil() {
+		return nil, false
+	}
+	out := make([]byte, n)
+	t.arena.ReadAt(vp, out)
+	return out, true
+}
+
+// lookup descends to the leaf for key, or Nil.
+func (t *Tree) lookup(key []byte) pmem.Ptr {
+	return pmart.Lookup(t.arena, t.root(), key)
+}

@@ -1,0 +1,190 @@
+package woart
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/casl-sdsu/hart/internal/kv"
+	"github.com/casl-sdsu/hart/internal/kv/kvtest"
+	"github.com/casl-sdsu/hart/internal/pmem"
+)
+
+func factory(t *testing.T) kv.Index {
+	tr, err := New(Options{ArenaSize: 64 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestConformance(t *testing.T) {
+	kvtest.RunAll(t, factory)
+}
+
+func TestValidation(t *testing.T) {
+	tr, err := New(Options{ArenaSize: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Put(nil, []byte("v")); err == nil {
+		t.Fatal("empty key accepted")
+	}
+	if err := tr.Put([]byte("has\x00zero"), []byte("v")); err == nil {
+		t.Fatal("zero-byte key accepted (terminator collision)")
+	}
+	if err := tr.Put([]byte("0123456789012345678901234"), []byte("v")); err == nil {
+		t.Fatal("25-byte key accepted")
+	}
+	if err := tr.Put([]byte("k"), make([]byte, 17)); err == nil {
+		t.Fatal("17-byte value accepted")
+	}
+}
+
+// TestPurePMSurvivesRestart: a WOART needs no rebuild — the whole tree is
+// on PM, so re-attaching after a clean crash finds every committed record
+// (the property Fig. 10c relies on).
+func TestPurePMSurvivesRestart(t *testing.T) {
+	tr, err := New(Options{ArenaSize: 32 << 20, Tracking: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 3000
+	for i := 0; i < n; i++ {
+		if err := tr.Put([]byte(fmt.Sprintf("pm%06d", i)), []byte(fmt.Sprintf("%08d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < n; i += 3 {
+		if err := tr.Delete([]byte(fmt.Sprintf("pm%06d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	img, err := tr.Arena().Crash(pmem.Config{Tracking: true}, pmem.CrashOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr2, err := Open(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := n - (n+2)/3
+	if tr2.Len() != want {
+		t.Fatalf("recovered Len = %d, want %d", tr2.Len(), want)
+	}
+	for i := 0; i < n; i++ {
+		v, ok := tr2.Get([]byte(fmt.Sprintf("pm%06d", i)))
+		if wantOK := i%3 != 0; ok != wantOK {
+			t.Fatalf("pm%06d present=%v want=%v", i, ok, wantOK)
+		} else if ok && string(v) != fmt.Sprintf("%08d", i) {
+			t.Fatalf("pm%06d value %q", i, v)
+		}
+	}
+	if err := tr2.Check(); err != nil {
+		t.Fatal(err)
+	}
+	// The reopened tree keeps working.
+	if err := tr2.Put([]byte("after-crash"), []byte("ok")); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := tr2.Get([]byte("after-crash")); !ok || string(v) != "ok" {
+		t.Fatalf("post-reopen Put lost: (%q,%v)", v, ok)
+	}
+}
+
+// TestCrashAtomicInsertBoundaries crashes inserts at every persist
+// boundary and verifies the committed prefix of the tree is undamaged —
+// WOART's write-atomicity claim. (Unlike HART there is no leak guarantee;
+// only structural atomicity is checked.)
+func TestCrashAtomicInsertBoundaries(t *testing.T) {
+	for fail := int64(0); ; fail++ {
+		tr, err := New(Options{ArenaSize: 32 << 20, Tracking: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		pre := []string{"crashA", "crashB", "crashAB", "cr", "dz999"}
+		for _, k := range pre {
+			if err := tr.Put([]byte(k), []byte("pre")); err != nil {
+				t.Fatal(err)
+			}
+		}
+		tr.Arena().FailAfterPersists(fail)
+		crashed := false
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					if _, ok := r.(pmem.CrashError); !ok {
+						panic(r)
+					}
+					crashed = true
+				}
+			}()
+			if err := tr.Put([]byte("crashNEW"), []byte("new")); err != nil {
+				t.Fatal(err)
+			}
+		}()
+		tr.Arena().DisarmCrash()
+		if !crashed {
+			if fail == 0 {
+				t.Fatal("insert performed no persists")
+			}
+			return
+		}
+		img, err := tr.Arena().Crash(pmem.Config{Tracking: true}, pmem.CrashOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr2, err := Open(img)
+		if err != nil {
+			t.Fatalf("fail=%d: %v", fail, err)
+		}
+		for _, k := range pre {
+			if v, ok := tr2.Get([]byte(k)); !ok || string(v) != "pre" {
+				t.Fatalf("fail=%d: committed key %q = (%q,%v)", fail, k, v, ok)
+			}
+		}
+		if v, ok := tr2.Get([]byte("crashNEW")); ok && string(v) != "new" {
+			t.Fatalf("fail=%d: torn insert: %q", fail, v)
+		}
+		if err := tr2.Check(); err != nil {
+			t.Fatalf("fail=%d: %v", fail, err)
+		}
+	}
+}
+
+func TestSizeInfoPurePM(t *testing.T) {
+	tr, _ := New(Options{ArenaSize: 16 << 20})
+	for i := 0; i < 100; i++ {
+		tr.Put([]byte(fmt.Sprintf("m%04d", i)), []byte("v"))
+	}
+	si := tr.SizeInfo()
+	if si.DRAMBytes != 0 {
+		t.Fatalf("WOART DRAM = %d, want 0 (paper Fig. 10b: pure-PM trees use no DRAM)", si.DRAMBytes)
+	}
+	if si.PMBytes <= 0 {
+		t.Fatalf("PMBytes = %d", si.PMBytes)
+	}
+}
+
+func TestFreeListReuseKeepsArenaFlat(t *testing.T) {
+	tr, _ := New(Options{ArenaSize: 16 << 20})
+	for i := 0; i < 500; i++ {
+		if err := tr.Put([]byte(fmt.Sprintf("fl%05d", i)), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 500; i++ {
+		if err := tr.Delete([]byte(fmt.Sprintf("fl%05d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	grown := tr.Arena().Reserved()
+	// Reinserting the same set must come mostly from the free lists.
+	for i := 0; i < 500; i++ {
+		if err := tr.Put([]byte(fmt.Sprintf("fl%05d", i)), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if after := tr.Arena().Reserved(); after > grown+4096 {
+		t.Fatalf("free lists unused: arena grew %d -> %d", grown, after)
+	}
+}
