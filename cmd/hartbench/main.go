@@ -29,7 +29,8 @@ import (
 
 func main() {
 	var (
-		fig     = flag.String("fig", "all", "figure to run: all, 4, 5, 6, 7, 8, 9, 10a, 10b, 10c, 10d, summary, ablation")
+		fig     = flag.String("fig", "all", "figure to run: all, 4, 5, 6, 7, 8, 9, 10a, 10b, 10c, 10d, summary, ablation, readpath")
+		rpOut   = flag.String("readpath-out", "BENCH_readpath.json", "output file for -fig readpath")
 		records = flag.Int("records", 100000, "Sequential/Random record count")
 		dict    = flag.Int("dict", 0, "Dictionary size (default min(records, 466544); pass 466544 for the paper's corpus)")
 		mixed   = flag.Int("mixedops", 0, "mixed-workload operation count (default records)")
@@ -96,6 +97,9 @@ func main() {
 		rep, err = bench.RunFig10c(cfg)
 	case "10d":
 		rep, err = bench.RunFig10d(cfg)
+	case "readpath":
+		runReadPath(cfg, *rpOut)
+		return
 	case "summary":
 		rep, err = runBasics(cfg)
 	case "ablation":
@@ -113,6 +117,25 @@ func main() {
 	if *fig == "all" || *fig == "summary" {
 		bench.FprintSummary(os.Stdout, bench.Summarise(rep))
 	}
+}
+
+// runReadPath runs the lock-free vs locked read-path comparison and
+// records it as JSON (the before/after evidence for the optimisation).
+func runReadPath(cfg bench.Config, out string) {
+	rep, err := bench.RunReadPath(cfg)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	rep.FprintTable(os.Stdout)
+	f, err := os.Create(out)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	defer f.Close()
+	if err := rep.WriteJSON(f); err != nil {
+		fatalf("%v", err)
+	}
+	fmt.Fprintf(os.Stderr, "hartbench: wrote %s\n", out)
 }
 
 // runBasics runs Figs. 4-7, the inputs of the headline summary.

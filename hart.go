@@ -14,7 +14,16 @@
 //	...
 //	db.Put([]byte("key"), []byte("value"))
 //	v, ok := db.Get([]byte("key"))
+//	buf := make([]byte, 0, hart.MaxValueLen)
+//	v, ok = db.GetInto([]byte("key"), buf) // zero-alloc lookup
 //	db.Scan([]byte("a"), []byte("b"), func(k, v []byte) bool { ... })
+//
+// Lookups (Get, GetInto, Contains) are lock-free: they read an atomic
+// snapshot of the hash directory and of the target ART and validate the
+// persistent-memory reads against a per-ART seqlock, so readers never
+// block writers and scale with no shared-lock traffic. GetInto reuses
+// the caller's buffer and performs no heap allocation; Contains decides
+// presence without copying the value at all.
 //
 // Durability round trip (the simulated-PM equivalent of remapping a DAX
 // file after a restart):
@@ -68,6 +77,11 @@ type Options struct {
 	// of 8 (default [8, 16], the paper's two classes). The largest class
 	// bounds value length; Restore must be given the same table.
 	ValueClasses []int64
+	// LockedReads disables the lock-free read path and restores the
+	// paper's original two-lock reads (global directory read lock, then
+	// per-ART read lock). It exists as the benchmark baseline for the
+	// read-path experiment; leave it unset in normal use.
+	LockedReads bool
 }
 
 // DB is a HART index. All methods are safe for concurrent use; writers to
@@ -83,6 +97,7 @@ func (o Options) coreOptions() core.Options {
 		ArenaSize:    o.ArenaSize,
 		Tracking:     o.CrashSimulation,
 		ValueClasses: o.ValueClasses,
+		LockedReads:  o.LockedReads,
 	}
 	if o.PMWriteNs > 0 || o.PMReadNs > 0 {
 		opts.Latency = latency.Config{

@@ -1,0 +1,187 @@
+package art
+
+import "bytes"
+
+// Copy-on-write mutation.
+//
+// CowInsert and CowDelete are the functional counterparts of Insert and
+// Delete: instead of mutating t they return a new *Tree that shares every
+// untouched subtree with t and copies only the nodes along the modified
+// path (O(key length) copies). A tree reached through them is immutable,
+// so HART can publish each shard's current tree behind an atomic pointer
+// and let lock-free readers traverse it with no synchronisation at all:
+// the atomic root swap is the only happens-before edge a reader needs.
+//
+// The invariant the in-place mutators do not give: after nu = t.CowX(...),
+// every node reachable from t is bit-for-bit unchanged. Cloned nodes share
+// prefix backing arrays with their originals, which is safe because no
+// code path writes *through* a prefix slice — prefixes are only ever
+// replaced whole, on a clone.
+
+// CowInsert returns a tree with val stored under key, leaving t unchanged.
+// Like Insert it reports the previous value if the key was present.
+func (t *Tree) CowInsert(key []byte, val uint64) (nu *Tree, old uint64, updated bool) {
+	k := append([]byte(nil), key...)
+	root, old, updated := cowInsert(t.root, k, 0, val)
+	size := t.size
+	if !updated {
+		size++
+	}
+	return &Tree{root: root, size: size}, old, updated
+}
+
+// cowInsert mirrors (*Tree).insert with every mutated node cloned first.
+func cowInsert(n node, key []byte, depth int, val uint64) (node, uint64, bool) {
+	if n == nil {
+		return &leaf{key: key, val: val}, 0, false
+	}
+	if l, ok := n.(*leaf); ok {
+		if bytes.Equal(l.key, key) {
+			return &leaf{key: key, val: val}, l.val, true
+		}
+		cp := commonPrefixLen(l.key[depth:], key[depth:])
+		nn := &node4{inner: inner{prefix: append([]byte(nil), key[depth:depth+cp]...)}}
+		attach(nn, l.key, depth+cp, l) // l itself is shared, not copied
+		attach(nn, key, depth+cp, &leaf{key: key, val: val})
+		return nn, 0, false
+	}
+
+	h := header(n)
+	cp := commonPrefixLen(h.prefix, key[depth:])
+	if cp < len(h.prefix) {
+		// Split inside n's compressed path: n survives under a new parent
+		// with its prefix trimmed, so clone it before trimming.
+		nn := &node4{inner: inner{prefix: append([]byte(nil), h.prefix[:cp]...)}}
+		edge := h.prefix[cp]
+		cn := cloneNode(n)
+		header(cn).prefix = append([]byte(nil), h.prefix[cp+1:]...)
+		addChild(nn, edge, cn)
+		attach(nn, key, depth+cp, &leaf{key: key, val: val})
+		return nn, 0, false
+	}
+	depth += len(h.prefix)
+
+	if depth == len(key) {
+		cn := cloneNode(n)
+		ch := header(cn)
+		if ch.term != nil {
+			old := ch.term.val
+			ch.term = &leaf{key: key, val: val}
+			return cn, old, true
+		}
+		ch.term = &leaf{key: key, val: val}
+		return cn, 0, false
+	}
+
+	b := key[depth]
+	child := findChild(n, b)
+	if child == nil {
+		// addChild mutates (and possibly grows) the node it is given, so
+		// hand it a clone; growth then also starts from the clone's header.
+		return addChild(cloneNode(n), b, &leaf{key: key, val: val}), 0, false
+	}
+	newChild, old, updated := cowInsert(child, key, depth+1, val)
+	cn := cloneNode(n)
+	replaceChild(cn, b, newChild)
+	return cn, old, updated
+}
+
+// CowDelete returns a tree without key, leaving t unchanged. Like Delete
+// it reports the removed value if the key was present.
+func (t *Tree) CowDelete(key []byte) (nu *Tree, old uint64, ok bool) {
+	root, old, ok := cowRemove(t.root, key, 0)
+	if !ok {
+		return t, 0, false
+	}
+	return &Tree{root: root, size: t.size - 1}, old, true
+}
+
+// cowRemove mirrors (*Tree).remove with every mutated node cloned first.
+func cowRemove(n node, key []byte, depth int) (node, uint64, bool) {
+	if n == nil {
+		return nil, 0, false
+	}
+	if l, ok := n.(*leaf); ok {
+		if bytes.Equal(l.key, key) {
+			return nil, l.val, true
+		}
+		return n, 0, false
+	}
+
+	h := header(n)
+	if len(key)-depth < len(h.prefix) || !bytes.Equal(h.prefix, key[depth:depth+len(h.prefix)]) {
+		return n, 0, false
+	}
+	depth += len(h.prefix)
+
+	if depth == len(key) {
+		if h.term == nil {
+			return n, 0, false
+		}
+		old := h.term.val
+		cn := cloneNode(n)
+		header(cn).term = nil
+		return cowCompact(cn), old, true
+	}
+
+	b := key[depth]
+	child := findChild(n, b)
+	if child == nil {
+		return n, 0, false
+	}
+	newChild, old, ok := cowRemove(child, key, depth+1)
+	if !ok {
+		return n, 0, false
+	}
+	cn := cloneNode(n)
+	if newChild == nil {
+		removeChild(cn, b)
+		return cowCompact(cn), old, true
+	}
+	replaceChild(cn, b, newChild)
+	return cn, old, true
+}
+
+// cowCompact is compact for a node the caller already owns (a clone): the
+// only case compact mutates *another* node — merging the prefix into a
+// lone child during path re-compression — clones that child first here.
+func cowCompact(n node) node {
+	h := header(n)
+	if h.n == 1 && h.term == nil {
+		b, child := soleChild(n)
+		if cl, ok := child.(*leaf); ok {
+			return cl
+		}
+		ch := header(child)
+		merged := make([]byte, 0, len(h.prefix)+1+len(ch.prefix))
+		merged = append(merged, h.prefix...)
+		merged = append(merged, b)
+		merged = append(merged, ch.prefix...)
+		cc := cloneNode(child)
+		header(cc).prefix = merged
+		return cc
+	}
+	return compact(n)
+}
+
+// cloneNode shallow-copies an inner node: header fields (the prefix slice
+// header is shared — see the package invariant above) plus the key/index
+// and children arrays. Subtrees are shared, not copied.
+func cloneNode(n node) node {
+	switch v := n.(type) {
+	case *node4:
+		c := *v
+		return &c
+	case *node16:
+		c := *v
+		return &c
+	case *node48:
+		c := *v
+		return &c
+	case *node256:
+		c := *v
+		return &c
+	default:
+		panic("art: cloneNode on leaf")
+	}
+}

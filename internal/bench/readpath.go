@@ -1,0 +1,198 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"testing"
+
+	"github.com/casl-sdsu/hart/internal/core"
+	"github.com/casl-sdsu/hart/internal/workload"
+)
+
+// Read-path experiment: lock-free optimistic reads (atomic directory
+// snapshot + COW tree + per-shard seqlock) against the paper's original
+// two-lock read protocol, reproduced bit-for-bit by core's LockedReads
+// option. Latency injection is off — the experiment isolates the
+// synchronisation and allocation cost of the read path itself, which PM
+// read penalties (identical in both modes) would only dilute.
+
+// ReadPathResult is one measured cell of the read-path comparison.
+type ReadPathResult struct {
+	// Mode is "locked" (baseline) or "lockfree".
+	Mode string `json:"mode"`
+	// Op is Get, GetInto, Contains or Mixed95/5.
+	Op string `json:"op"`
+	// Threads is the GOMAXPROCS / parallel-worker count.
+	Threads int `json:"threads"`
+	// NsPerOp is the mean wall-clock cost per operation.
+	NsPerOp float64 `json:"ns_per_op"`
+	// AllocsPerOp is the mean heap allocations per operation.
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	// MOPS is millions of operations per second (all workers combined).
+	MOPS float64 `json:"mops"`
+}
+
+// ReadPathReport is the BENCH_readpath.json document.
+type ReadPathReport struct {
+	// Records is the preloaded record count; ValueSize its payload bytes.
+	Records   int `json:"records"`
+	ValueSize int `json:"value_size"`
+	// NumCPU records the machine's parallelism so speedups can be read in
+	// context (on a single-core host the win is lock/alloc elimination,
+	// not parallel scaling).
+	NumCPU  int              `json:"num_cpu"`
+	Results []ReadPathResult `json:"results"`
+	// SpeedupGet maps "t<threads>" to locked-Get ns/op ÷ lock-free Get
+	// ns/op; SpeedupGetInto likewise against zero-alloc GetInto.
+	SpeedupGet     map[string]float64 `json:"speedup_get"`
+	SpeedupGetInto map[string]float64 `json:"speedup_getinto"`
+}
+
+// readPathIndex builds a HART with latency off and the given read mode.
+func readPathIndex(c Config, locked bool) (*core.HART, [][]byte, error) {
+	h, err := core.New(core.Options{
+		ArenaSize:       arenaSize("HART", c.Records),
+		UnloggedUpdates: true,
+		LockedReads:     locked,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	keys := workload.Random(c.Records, c.Seed)
+	val := make([]byte, c.ValueSize)
+	for i := range val {
+		val[i] = byte('a' + i%26)
+	}
+	for _, k := range keys {
+		if err := h.Put(k, val); err != nil {
+			return nil, nil, err
+		}
+	}
+	return h, keys, nil
+}
+
+// benchReadOp measures one op at one thread count via the testing
+// harness (b.RunParallel over GOMAXPROCS workers).
+func benchReadOp(h *core.HART, keys [][]byte, threads int, op string) ReadPathResult {
+	prev := runtime.GOMAXPROCS(threads)
+	defer runtime.GOMAXPROCS(prev)
+	mask := len(keys) - 1 // Records is kept a power of two by RunReadPath
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		b.RunParallel(func(pb *testing.PB) {
+			rng := newRng(int64(threads)*1009 + 7)
+			buf := make([]byte, 0, 64)
+			val := []byte("deadbeef")
+			for pb.Next() {
+				k := keys[int(rng.next())&mask]
+				switch op {
+				case "Get":
+					if _, ok := h.Get(k); !ok {
+						b.Fatal("miss")
+					}
+				case "GetInto":
+					if _, ok := h.GetInto(k, buf); !ok {
+						b.Fatal("miss")
+					}
+				case "Contains":
+					if !h.Contains(k) {
+						b.Fatal("miss")
+					}
+				case "Mixed95/5":
+					if rng.next()%100 < 5 {
+						if err := h.Put(k, val); err != nil {
+							b.Fatal(err)
+						}
+					} else if _, ok := h.GetInto(k, buf); !ok {
+						b.Fatal("miss")
+					}
+				}
+			}
+		})
+	})
+	ns := float64(res.NsPerOp())
+	return ReadPathResult{
+		Op:          op,
+		Threads:     threads,
+		NsPerOp:     ns,
+		AllocsPerOp: float64(res.MemAllocs) / float64(res.N),
+		MOPS:        1e3 / ns, // 1e9 ns/s ÷ ns/op ÷ 1e6
+	}
+}
+
+// RunReadPath measures the read-path comparison and returns the report.
+func RunReadPath(c Config) (*ReadPathReport, error) {
+	c = c.WithDefaults()
+	// Power-of-two record count for mask indexing.
+	n := 1
+	for n*2 <= c.Records {
+		n *= 2
+	}
+	c.Records = n
+
+	rep := &ReadPathReport{
+		Records:        c.Records,
+		ValueSize:      c.ValueSize,
+		NumCPU:         runtime.NumCPU(),
+		SpeedupGet:     map[string]float64{},
+		SpeedupGetInto: map[string]float64{},
+	}
+	threads := []int{1, 4, 8}
+	lockedGet := map[int]float64{}
+
+	for _, locked := range []bool{true, false} {
+		mode := "lockfree"
+		ops := []string{"Get", "GetInto", "Contains", "Mixed95/5"}
+		if locked {
+			mode = "locked"
+			ops = []string{"Get", "Mixed95/5"} // the baseline API had no GetInto
+		}
+		h, keys, err := readPathIndex(c, locked)
+		if err != nil {
+			return nil, err
+		}
+		for _, t := range threads {
+			for _, op := range ops {
+				fmt.Fprintf(c.Out, "readpath: %s %s threads=%d...\n", mode, op, t)
+				r := benchReadOp(h, keys, t, op)
+				r.Mode = mode
+				rep.Results = append(rep.Results, r)
+				key := fmt.Sprintf("t%d", t)
+				switch {
+				case locked && op == "Get":
+					lockedGet[t] = r.NsPerOp
+				case !locked && op == "Get":
+					rep.SpeedupGet[key] = lockedGet[t] / r.NsPerOp
+				case !locked && op == "GetInto":
+					rep.SpeedupGetInto[key] = lockedGet[t] / r.NsPerOp
+				}
+			}
+		}
+		h.Close()
+	}
+	return rep, nil
+}
+
+// WriteJSON writes the report as indented JSON.
+func (r *ReadPathReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// FprintTable renders the report for the terminal.
+func (r *ReadPathReport) FprintTable(w io.Writer) {
+	fmt.Fprintf(w, "\n== Read path: locked baseline vs lock-free (records=%d, value=%dB, NumCPU=%d) ==\n",
+		r.Records, r.ValueSize, r.NumCPU)
+	fmt.Fprintf(w, "%-10s %-10s %-8s %12s %10s %10s\n", "mode", "op", "threads", "ns/op", "allocs/op", "Mops/s")
+	for _, res := range r.Results {
+		fmt.Fprintf(w, "%-10s %-10s %-8d %12.1f %10.2f %10.3f\n",
+			res.Mode, res.Op, res.Threads, res.NsPerOp, res.AllocsPerOp, res.MOPS)
+	}
+	for _, t := range []string{"t1", "t4", "t8"} {
+		fmt.Fprintf(w, "speedup %s: Get %.2fx, GetInto %.2fx\n",
+			t, r.SpeedupGet[t], r.SpeedupGetInto[t])
+	}
+}

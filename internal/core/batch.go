@@ -50,20 +50,23 @@ func (h *HART) PutBatch(records []Record) (int, error) {
 			j++
 		}
 		s := h.lockShardW(hashKey, true)
+		s.beginWrite()
 		for _, r := range sorted[i:j] {
 			_, artKey := h.splitKey(r.Key)
 			var err error
-			if leafW, found := s.tree.Get(artKey); found {
+			if leafW, found := s.tree.Load().Get(artKey); found {
 				err = h.update(pmem.Ptr(leafW), r.Value)
 			} else {
 				err = h.insertNew(s, artKey, r.Key, r.Value)
 			}
 			if err != nil {
+				s.endWrite()
 				s.mu.Unlock()
 				return done, err
 			}
 			done++
 		}
+		s.endWrite()
 		s.mu.Unlock()
 		i = j
 	}

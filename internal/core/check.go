@@ -44,24 +44,23 @@ func (h *HART) Check() error {
 
 	// Volatile side: every tree entry must be a committed leaf whose
 	// stored key matches its position in the index.
-	h.dirMu.RLock()
+	dir := h.dir.Load()
 	type namedShard struct {
 		hk string
 		s  *artShard
 	}
-	shards := make([]namedShard, 0, h.dir.Len())
-	h.dir.Range(func(hk []byte, s *artShard) bool {
+	shards := make([]namedShard, 0, dir.Len())
+	dir.Range(func(hk []byte, s *artShard) bool {
 		shards = append(shards, namedShard{string(hk), s})
 		return true
 	})
-	h.dirMu.RUnlock()
 
 	valueRefs := make(map[pmem.Ptr]int)
 	indexed := 0
 	for _, ns := range shards {
 		var shardErr error
 		ns.s.mu.RLock()
-		ns.s.tree.Ascend(func(artKey []byte, leafW uint64) bool {
+		ns.s.tree.Load().Ascend(func(artKey []byte, leafW uint64) bool {
 			leaf := pmem.Ptr(leafW)
 			indexed++
 			if !liveLeaf[leaf] {

@@ -1,8 +1,11 @@
 package core
 
 import (
+	"bytes"
 	"fmt"
+	"runtime"
 	"sync"
+	"sync/atomic"
 	"testing"
 )
 
@@ -135,6 +138,162 @@ func TestConcurrentScanDuringWrites(t *testing.T) {
 	}
 	close(stop)
 	wg.Wait()
+	if err := h.Check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestOptimisticReadStress drives the lock-free read path through its
+// seqlock retries: writers continuously update a small hot key set (so
+// readers keep colliding with open write sections and value-slot reuse)
+// while readers verify that every value they observe is one a writer
+// actually wrote for that exact key — a torn or stale read would mix
+// generations or keys. Run under -race this also proves the word-level
+// atomicity of the PM accesses the optimistic protocol performs.
+func TestOptimisticReadStress(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(8))
+	h, err := New(Options{ArenaSize: 64 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const hotKeys = 16
+	key := func(i int) []byte { return []byte(fmt.Sprintf("hh%03d", i)) }
+	// value encodes (key index, generation) so any cross-key or torn mix
+	// is detectable: two identical 8-byte words, each carrying the pair.
+	value := func(i, gen int) []byte {
+		half := fmt.Sprintf("%03d-%04d", i, gen%10000)
+		return []byte(half + half)
+	}
+	for i := 0; i < hotKeys; i++ {
+		if err := h.Put(key(i), value(i, 0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	// Updaters: constant value-slot churn on every hot key.
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for gen := 1; !stop.Load(); gen++ {
+				for i := w; i < hotKeys; i += 2 {
+					if err := h.Put(key(i), value(i, gen)); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	// Readers: Get, zero-alloc GetInto and Contains against the hot set.
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			buf := make([]byte, 0, 16)
+			for n := 0; !stop.Load(); n++ {
+				i := (r + n) % hotKeys
+				var v []byte
+				var ok bool
+				if n%2 == 0 {
+					v, ok = h.Get(key(i))
+				} else {
+					v, ok = h.GetInto(key(i), buf)
+				}
+				if !ok {
+					t.Errorf("hot key %d missing", i)
+					return
+				}
+				// Self-consistency: both halves must agree and name key i.
+				if len(v) != 16 || !bytes.Equal(v[:8], v[8:]) || string(v[:3]) != fmt.Sprintf("%03d", i) {
+					t.Errorf("inconsistent read for key %d: %q", i, v)
+					return
+				}
+				if !h.Contains(key(i)) {
+					t.Errorf("Contains(%d) = false for live key", i)
+					return
+				}
+			}
+		}(r)
+	}
+	// Churner: creates and empties a neighbouring shard so readers also
+	// race directory snapshot replacement and the dead-shard path.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		k := []byte("hz-ephemeral")
+		for !stop.Load() {
+			if err := h.Put(k, []byte("x")); err != nil {
+				t.Error(err)
+				return
+			}
+			if err := h.Delete(k); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+
+	for i := 0; i < 400; i++ {
+		runtime.Gosched()
+		for j := 0; j < hotKeys; j++ {
+			if !h.Contains(key(j)) {
+				t.Fatalf("hot key %d vanished", j)
+			}
+		}
+	}
+	stop.Store(true)
+	wg.Wait()
+	if err := h.Check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestOptimisticReadShardRemoval races lock-free readers against the
+// delete-to-empty / recreate cycle of a single shard: a reader holding a
+// stale directory snapshot must either conclusively miss or return a
+// value that was live for that key, never panic or fabricate.
+func TestOptimisticReadShardRemoval(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(8))
+	h, err := New(Options{ArenaSize: 64 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := []byte("rr-flicker")
+	var stop atomic.Bool
+	var writer, readers sync.WaitGroup
+	writer.Add(1)
+	go func() {
+		defer writer.Done()
+		for i := 0; !stop.Load(); i++ {
+			if err := h.Put(k, []byte(fmt.Sprintf("%08d", i))); err != nil {
+				t.Error(err)
+				return
+			}
+			if err := h.Delete(k); err != nil { // empties and retires the shard
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	for r := 0; r < 4; r++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			buf := make([]byte, 0, 16)
+			for n := 0; n < 20000; n++ {
+				if v, ok := h.GetInto(k, buf); ok && len(v) != 8 {
+					t.Errorf("bad value %q", v)
+					return
+				}
+			}
+		}()
+	}
+	readers.Wait()
+	stop.Store(true)
+	writer.Wait()
 	if err := h.Check(); err != nil {
 		t.Fatal(err)
 	}

@@ -10,8 +10,13 @@
 // leaves and value objects comes from EPallocator (package epalloc), whose
 // chunk bitmaps both commit objects and prevent persistent memory leaks.
 //
-// Concurrency follows Section III.A.3: one RWMutex per ART, so writes to
-// distinct ARTs proceed in parallel and readers share each ART.
+// Concurrency extends Section III.A.3: writers still serialise per ART
+// (one RWMutex per shard, so writes to distinct ARTs proceed in parallel),
+// but the read path is lock-free. The hash directory is published as an
+// immutable snapshot behind an atomic pointer (copy-on-write on the rare
+// shard add/remove), each shard's ART is an immutable tree republished by
+// copy-on-write mutation, and a per-shard seqlock validates the PM-side
+// leaf and value reads. See DESIGN.md, "Read-path concurrency".
 package core
 
 import (
@@ -127,6 +132,13 @@ type Options struct {
 	// baselines leak the same window unboundedly). Default false:
 	// Algorithm 3, immediately leak-free.
 	UnloggedUpdates bool
+	// LockedReads disables the lock-free read path and reproduces the
+	// paper's original Section III.A.3 protocol verbatim: Get takes the
+	// global directory read lock to resolve the shard, then the shard's
+	// read lock for the tree walk and PM reads. It exists as the
+	// measurable "before" baseline for the read-path benchmarks
+	// (BENCH_readpath.json); leave it unset otherwise.
+	LockedReads bool
 }
 
 // withDefaults fills unset fields.
@@ -157,13 +169,42 @@ func validateClasses(classes []int64) error {
 }
 
 // artShard is one ART plus its lock (paper Fig. 1: "a lock on each ART").
+//
+// Readers never take mu on the fast path. They load tree — an immutable
+// snapshot republished by copy-on-write mutation — and validate the
+// PM-side reads (leaf bit, pValue word, value words) against seq, a
+// seqlock writers hold odd for the duration of their critical section.
+// The DRAM tree walk needs no validation at all; seq exists because the
+// PM slots behind the tree's leaf pointers are reused by the allocator,
+// so a stale tree snapshot can point a reader at a slot mid-rewrite.
 type artShard struct {
+	// seq is the shard's seqlock: incremented to odd at the start of
+	// every mutating critical section and back to even at its end.
+	seq atomic.Uint64
+	// tree is the shard's published ART. Writers (under mu) replace it
+	// via art.CowInsert/CowDelete; every node reachable from a published
+	// tree is immutable thereafter.
+	tree atomic.Pointer[art.Tree]
 	mu   sync.RWMutex
-	tree *art.Tree
 	// dead marks a shard removed from the directory after its ART
-	// emptied; waiters must re-resolve through the directory.
+	// emptied; waiters must re-resolve through the directory. Guarded by
+	// mu (the lock-free path never reads it — it revalidates through a
+	// fresh directory snapshot instead).
 	dead bool
 }
+
+// newShard returns a live shard with an empty published tree.
+func newShard() *artShard {
+	s := &artShard{}
+	s.tree.Store(art.New())
+	return s
+}
+
+// beginWrite opens a seqlock critical section. Caller holds s.mu.
+func (s *artShard) beginWrite() { s.seq.Add(1) }
+
+// endWrite closes it.
+func (s *artShard) endWrite() { s.seq.Add(1) }
 
 // HART is one Hash-assisted ART index.
 type HART struct {
@@ -171,12 +212,16 @@ type HART struct {
 	arena *pmem.Arena
 	alloc *epalloc.Allocator
 
-	// dirMu guards dir (the paper's hash table). Lock ordering: dirMu is
-	// never held while acquiring a shard lock except in
-	// removeShardIfEmpty, which is safe because getShard never waits on a
-	// shard while holding dirMu.
+	// dir is the published directory snapshot (the paper's hash table).
+	// The table behind the pointer is immutable: shard insertion and
+	// removal clone it, mutate the clone and swap the pointer. Readers
+	// load it with no lock; dirMu serialises the writers performing the
+	// clone-and-swap (and doubles as the global read lock of the
+	// Options.LockedReads baseline). Lock ordering: dirMu is never held
+	// while acquiring a shard lock except in removeShardIfEmpty, which is
+	// safe because getShard never waits on a shard while holding dirMu.
 	dirMu sync.RWMutex
-	dir   *hashdir.Table[*artShard]
+	dir   atomic.Pointer[hashdir.Table[*artShard]]
 
 	size   atomic.Int64
 	closed atomic.Bool
@@ -233,7 +278,8 @@ func New(opts Options) (*HART, error) {
 	if err != nil {
 		return nil, err
 	}
-	h := &HART{opts: opts, arena: arena, dir: hashdir.New[*artShard]()}
+	h := &HART{opts: opts, arena: arena}
+	h.dir.Store(hashdir.New[*artShard]())
 	h.alloc, err = epalloc.New(arena, h.classSpecs())
 	if err != nil {
 		return nil, err
@@ -250,7 +296,8 @@ func Open(arena *pmem.Arena, opts Options) (*HART, error) {
 	if err := validateClasses(opts.ValueClasses); err != nil {
 		return nil, err
 	}
-	h := &HART{opts: opts, arena: arena, dir: hashdir.New[*artShard]()}
+	h := &HART{opts: opts, arena: arena}
+	h.dir.Store(hashdir.New[*artShard]())
 	alloc, err := epalloc.Attach(arena, h.classSpecs())
 	if err != nil {
 		return nil, err
@@ -321,23 +368,26 @@ func (h *HART) validateWrite(key, value []byte) error {
 }
 
 // getShard returns the shard for hashKey, optionally creating it
-// (HashInsert, Algorithm 1 lines 3-5). The returned shard is unlocked; a
-// caller that locks it must re-check shard.dead and retry, since an
-// emptied shard may have been removed from the directory meanwhile.
+// (HashInsert, Algorithm 1 lines 3-5). Lookup is a lock-free read of the
+// current directory snapshot; creation clones the snapshot under dirMu
+// and publishes the clone. The returned shard is unlocked; a caller that
+// locks it must re-check shard.dead and retry, since an emptied shard may
+// have been removed from the directory meanwhile.
 func (h *HART) getShard(hashKey []byte, create bool) *artShard {
-	h.dirMu.RLock()
-	s, ok := h.dir.Get(hashKey)
-	h.dirMu.RUnlock()
+	s, ok := h.dir.Load().Get(hashKey)
 	if ok || !create {
 		return s
 	}
 	h.dirMu.Lock()
 	defer h.dirMu.Unlock()
-	if s, ok = h.dir.Get(hashKey); ok {
+	cur := h.dir.Load()
+	if s, ok = cur.Get(hashKey); ok {
 		return s
 	}
-	s = &artShard{tree: art.New()}
-	h.dir.Put(hashKey, s)
+	s = newShard()
+	nu := cur.Clone()
+	nu.Put(hashKey, s)
+	h.dir.Store(nu)
 	return s
 }
 
@@ -358,10 +408,21 @@ func (h *HART) lockShardW(hashKey []byte, create bool) *artShard {
 	}
 }
 
-// lockShardR locates and read-locks the shard for hashKey.
+// lockShardR locates and read-locks the shard for hashKey. It is the
+// slow path: optimistic readers that exhausted their retries, plus the
+// scan/stats/check paths that need a stable shard. In LockedReads mode
+// the directory lookup additionally passes through dirMu, reproducing
+// the paper's original two-lock read sequence for benchmarking.
 func (h *HART) lockShardR(hashKey []byte) *artShard {
 	for {
-		s := h.getShard(hashKey, false)
+		var s *artShard
+		if h.opts.LockedReads {
+			h.dirMu.RLock()
+			s, _ = h.dir.Load().Get(hashKey)
+			h.dirMu.RUnlock()
+		} else {
+			s = h.getShard(hashKey, false)
+		}
 		if s == nil {
 			return nil
 		}
@@ -374,23 +435,28 @@ func (h *HART) lockShardR(hashKey []byte) *artShard {
 }
 
 // removeShardIfEmpty frees an ART whose last record was deleted
-// (Algorithm 5 lines 15-16). Caller holds s.mu.
+// (Algorithm 5 lines 15-16). Caller holds s.mu and an open seqlock
+// section; publishing the shrunken directory happens inside it, so an
+// optimistic reader holding the old snapshot either validates against
+// the still-even seq of the (empty) dead shard or retries.
 func (h *HART) removeShardIfEmpty(hashKey []byte, s *artShard) {
-	if !s.tree.Empty() {
+	if !s.tree.Load().Empty() {
 		return
 	}
 	s.dead = true
 	h.dirMu.Lock()
 	defer h.dirMu.Unlock()
-	h.dir.Delete(hashKey)
+	cur := h.dir.Load()
+	nu := cur.Clone()
+	if nu.Delete(hashKey) {
+		h.dir.Store(nu)
+	}
 }
 
 // NumARTs returns the number of live ARTs (the paper's maximum write
 // concurrency).
 func (h *HART) NumARTs() int {
-	h.dirMu.RLock()
-	defer h.dirMu.RUnlock()
-	return h.dir.Len()
+	return h.dir.Load().Len()
 }
 
 // leafKey reads the full key stored in a leaf.

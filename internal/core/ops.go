@@ -6,6 +6,12 @@ import (
 	"github.com/casl-sdsu/hart/internal/pmem"
 )
 
+// optimisticAttempts is how many times a reader retries the lock-free
+// protocol before falling back to the shard read lock. Retries only
+// happen while a writer is actively mutating the same shard, so a small
+// bound suffices; the fallback guarantees progress under a write storm.
+const optimisticAttempts = 4
+
 // Put inserts or updates a record (Algorithm 1). Values are 1 to
 // MaxValueLen bytes; key and value slices are copied.
 func (h *HART) Put(key, value []byte) error {
@@ -15,8 +21,10 @@ func (h *HART) Put(key, value []byte) error {
 	hashKey, artKey := h.splitKey(key)
 	s := h.lockShardW(hashKey, true) // lines 2-5: HashFind / NewART / HashInsert
 	defer s.mu.Unlock()
+	s.beginWrite()
+	defer s.endWrite()
 
-	if leafW, found := s.tree.Get(artKey); found { // line 6: SearchNode
+	if leafW, found := s.tree.Load().Get(artKey); found { // line 6: SearchNode
 		return h.update(pmem.Ptr(leafW), value) // lines 7-8
 	}
 	return h.insertNew(s, artKey, key, value) // lines 9-18
@@ -34,8 +42,11 @@ func (h *HART) insertNew(s *artShard, artKey, key, value []byte) error {
 		return err
 	}
 
-	// Line 12: value = V; persistent(value).
-	h.arena.WriteAt(val, value)
+	// Line 12: value = V; persistent(value). Word-wise atomic stores: the
+	// slot may be a reused one that a stale optimistic reader is still
+	// loading (it will fail seq validation, but the loads race these
+	// stores and must not tear).
+	h.arena.WriteWords(val, value)
 	h.arena.Persist(val, len(value))
 
 	// Line 13: leaf.p_value = &value; persistent(leaf.p_value).
@@ -55,8 +66,12 @@ func (h *HART) insertNew(s *artShard, artKey, key, value []byte) error {
 	h.arena.Write1(leaf+lfKeyLen, byte(len(key)))
 	h.arena.Persist(leaf+lfKeyLen, 1)
 
-	// Line 17: Insert2Tree — volatile, no persistence needed.
-	s.tree.Insert(artKey, uint64(leaf))
+	// Line 17: Insert2Tree — volatile, no persistence needed. The tree is
+	// republished by copy-on-write so concurrent lock-free readers only
+	// ever traverse immutable nodes; they cannot act on this leaf early
+	// because the enclosing seqlock section is still open.
+	nu, _, _ := s.tree.Load().CowInsert(artKey, uint64(leaf))
+	s.tree.Store(nu)
 
 	// Line 18: set and persist the leaf bit. This is the commit point: a
 	// crash anywhere above leaves the leaf bit clear, so the slot reads as
@@ -87,8 +102,9 @@ func (h *HART) update(leaf pmem.Ptr, value []byte) error {
 		return err
 	}
 
-	// Line 5: new_value = V; persistent(new_value).
-	h.arena.WriteAt(newV, value)
+	// Line 5: new_value = V; persistent(new_value). Atomic word stores —
+	// see insertNew.
+	h.arena.WriteWords(newV, value)
 	h.arena.Persist(newV, len(value))
 
 	// Line 6: ulog.PNewV = &new_value. The packed word also records the
@@ -129,7 +145,9 @@ func (h *HART) Update(key, value []byte) error {
 		return ErrNotFound
 	}
 	defer s.mu.Unlock()
-	leafW, found := s.tree.Get(artKey)
+	s.beginWrite()
+	defer s.endWrite()
+	leafW, found := s.tree.Load().Get(artKey)
 	if !found {
 		return ErrNotFound
 	}
@@ -137,17 +155,125 @@ func (h *HART) Update(key, value []byte) error {
 }
 
 // Get looks a key up (Algorithm 4) and returns a copy of its value.
+//
+// The fast path is lock-free: it resolves the shard through the current
+// directory snapshot, walks the shard's published (immutable) tree, and
+// validates the PM-side reads against the shard seqlock, retrying on
+// interference and falling back to the shard read lock after
+// optimisticAttempts tries. See DESIGN.md, "Read-path concurrency".
 func (h *HART) Get(key []byte) ([]byte, bool) {
+	return h.GetInto(key, nil)
+}
+
+// GetInto is Get with a caller-supplied destination buffer: the value is
+// copied into dst (grown only if its capacity is short) and the filled
+// prefix returned, so repeated lookups with a reused buffer perform no
+// heap allocation. A nil return with ok=true cannot happen; on ok=false
+// the buffer contents are unspecified.
+func (h *HART) GetInto(key, dst []byte) ([]byte, bool) {
 	if h.validate(key, nil) != nil {
 		return nil, false
 	}
 	hashKey, artKey := h.splitKey(key)
+	if !h.opts.LockedReads {
+		for i := 0; i < optimisticAttempts; i++ {
+			v, ok, conclusive := h.readOptimistic(hashKey, artKey, dst, true)
+			if conclusive {
+				return v, ok
+			}
+		}
+	}
+	return h.lockedGet(hashKey, artKey, dst, true)
+}
+
+// Contains reports whether key is present. Unlike Get it neither copies
+// nor allocates: presence is decided from the leaf bit and the packed
+// pValue word alone.
+func (h *HART) Contains(key []byte) bool {
+	if h.validate(key, nil) != nil {
+		return false
+	}
+	hashKey, artKey := h.splitKey(key)
+	if !h.opts.LockedReads {
+		for i := 0; i < optimisticAttempts; i++ {
+			_, ok, conclusive := h.readOptimistic(hashKey, artKey, nil, false)
+			if conclusive {
+				return ok
+			}
+		}
+	}
+	_, ok := h.lockedGet(hashKey, artKey, nil, false)
+	return ok
+}
+
+// readOptimistic runs one attempt of the lock-free Algorithm 4. It
+// reports (value, found, conclusive); conclusive=false means a writer
+// interfered and the attempt tells us nothing. The protocol:
+//
+//  1. Load the current directory snapshot and resolve the shard. No
+//     shard → conclusively absent (the snapshot is the linearization
+//     point; snapshots are immutable).
+//  2. Load the shard seqlock. Odd → a writer is mid-section; retry.
+//  3. Load the published tree and search it. The walk touches only
+//     immutable DRAM nodes, so it needs no validation; not-found is
+//     conclusive if seq is still unchanged (the snapshot was current).
+//  4. Validate the leaf bit, read the packed pValue word, and copy the
+//     value words out of PM — all atomic word loads, racing at worst
+//     with atomic word stores from writers reusing the slot.
+//  5. Re-load seq. Unchanged-and-even proves no writer entered the
+//     shard between steps 2 and 5, so every PM word read belongs to one
+//     consistent committed state.
+func (h *HART) readOptimistic(hashKey, artKey, dst []byte, needValue bool) (v []byte, found, conclusive bool) {
+	s, ok := h.dir.Load().Get(hashKey)
+	if !ok {
+		return nil, false, true
+	}
+	v0 := s.seq.Load()
+	if v0&1 != 0 {
+		return nil, false, false
+	}
+	leafW, ok := s.tree.Load().Get(artKey)
+	if !ok {
+		return nil, false, s.seq.Load() == v0
+	}
+	leaf := pmem.Ptr(leafW)
+	// Algorithm 4's leaf-bit validation is subsumed here by the seqlock:
+	// a leaf's tree membership and its bit only ever change together
+	// inside one write section (insertNew sets the bit before its section
+	// closes, Delete clears it in the section that unpublishes the leaf),
+	// so a tree observed in a quiescent window — seq even and unchanged
+	// across the whole read — holds committed leaves only, and the
+	// explicit BitIsSet of the locked path would be redundant PM traffic.
+	// A stale leaf read through an interfered window is discarded by the
+	// seq check below before it can be returned.
+	vp, n := unpackValue(h.arena.Read8(leaf + lfPValue))
+	if vp.IsNil() || n == 0 || n > h.maxValueLen() {
+		return nil, false, s.seq.Load() == v0
+	}
+	if needValue {
+		if cap(dst) >= n {
+			v = dst[:n]
+		} else {
+			v = make([]byte, n)
+		}
+		h.arena.ReadWords(vp, v)
+	}
+	if s.seq.Load() != v0 {
+		return nil, false, false
+	}
+	return v, true, true
+}
+
+// lockedGet is Algorithm 4 under the shard read lock: the fallback for
+// readers that kept losing seqlock races, and the whole read path in
+// LockedReads mode.
+func (h *HART) lockedGet(hashKey, artKey, dst []byte, needValue bool) ([]byte, bool) {
 	s := h.lockShardR(hashKey) // lines 1-2
 	if s == nil {
 		return nil, false // lines 3-4
 	}
 	defer s.mu.RUnlock()
-	leafW, found := s.tree.Get(artKey) // line 5
+	leafW, found := s.tree.Load().Get(artKey) // line 5
 	if !found {
 		return nil, false // lines 6-7
 	}
@@ -157,14 +283,21 @@ func (h *HART) Get(key []byte) ([]byte, bool) {
 	if set, err := h.alloc.BitIsSet(leaf); err != nil || !set {
 		return nil, false
 	}
-	v := h.leafValue(leaf)
-	return v, v != nil
-}
-
-// Contains reports whether key is present without copying its value.
-func (h *HART) Contains(key []byte) bool {
-	_, ok := h.Get(key)
-	return ok
+	vp, n := unpackValue(h.arena.Read8(leaf + lfPValue))
+	if vp.IsNil() || n == 0 || n > h.maxValueLen() {
+		return nil, false
+	}
+	if !needValue {
+		return nil, true
+	}
+	var v []byte
+	if cap(dst) >= n {
+		v = dst[:n]
+	} else {
+		v = make([]byte, n)
+	}
+	h.arena.ReadAt(vp, v)
+	return v, true
 }
 
 // Delete removes a key (Algorithm 5).
@@ -178,8 +311,10 @@ func (h *HART) Delete(key []byte) error {
 		return ErrNotFound // lines 3-4
 	}
 	defer s.mu.Unlock()
+	s.beginWrite()
+	defer s.endWrite()
 
-	leafW, found := s.tree.Get(artKey) // line 5
+	leafW, found := s.tree.Load().Get(artKey) // line 5
 	if !found {
 		return ErrNotFound // lines 6-7
 	}
@@ -187,7 +322,8 @@ func (h *HART) Delete(key []byte) error {
 
 	// Line 9: remove from the (volatile) tree first; a crash after this
 	// point leaves the PM bits to the reset/repair protocol below.
-	s.tree.Delete(artKey)
+	nu, _, _ := s.tree.Load().CowDelete(artKey)
+	s.tree.Store(nu)
 
 	val, _ := unpackValue(h.arena.Read8(leaf + lfPValue)) // line 10
 
@@ -233,7 +369,7 @@ func (h *HART) GetLeaf(key []byte) (pmem.Ptr, bool) {
 		return pmem.Nil, false
 	}
 	defer s.mu.RUnlock()
-	leafW, found := s.tree.Get(artKey)
+	leafW, found := s.tree.Load().Get(artKey)
 	if !found {
 		return pmem.Nil, false
 	}
@@ -258,7 +394,7 @@ func (h *HART) updateUnlogged(leaf pmem.Ptr, value []byte) error {
 	if err != nil {
 		return err
 	}
-	h.arena.WriteAt(newV, value)
+	h.arena.WriteWords(newV, value)
 	h.arena.Persist(newV, len(value))
 	if err := h.alloc.SetBit(newV); err != nil {
 		return err

@@ -146,7 +146,7 @@ func (h *HART) recoverUpdate(ul epalloc.UpdateLogState) error {
 // without re-creating the arena.
 func (h *HART) Rebuild() error {
 	h.dirMu.Lock()
-	h.dir = hashdir.New[*artShard]()
+	h.dir.Store(hashdir.New[*artShard]())
 	h.dirMu.Unlock()
 	h.size.Store(0)
 	return h.recover()
@@ -156,18 +156,32 @@ func (h *HART) Rebuild() error {
 // or with Options.RecoveryWorkers parallel workers partitioned by hash
 // key (leaves with the same hash key always land on the same worker, so
 // shards are single-writer during rebuild).
+//
+// The rebuild targets a private, unpublished directory and mutates the
+// trees in place: nothing is visible to readers until the single Store
+// at the end, which keeps recovery free of the per-mutation
+// copy-on-write cost the published index pays.
 func (h *HART) rebuildIndex(leaves []pmem.Ptr) error {
+	dir := hashdir.New[*artShard]()
+	var dirMu sync.Mutex
 	insert := func(leaf pmem.Ptr) error {
 		key := h.leafKey(leaf)
 		if len(key) == 0 {
 			return fmt.Errorf("hart: recovery found live leaf %d with empty key", leaf)
 		}
 		hashKey, artKey := h.splitKey(key)
-		s := h.getShard(hashKey, true)
-		s.tree.Insert(artKey, uint64(leaf))
+		dirMu.Lock()
+		s, ok := dir.Get(hashKey)
+		if !ok {
+			s = newShard()
+			dir.Put(hashKey, s)
+		}
+		dirMu.Unlock()
+		s.tree.Load().Insert(artKey, uint64(leaf))
 		h.size.Add(1)
 		return nil
 	}
+	defer h.dir.Store(dir)
 
 	workers := h.opts.RecoveryWorkers
 	if workers <= 1 || len(leaves) < 1024 {

@@ -23,9 +23,9 @@ func (h *HART) Scan(start, end []byte, fn func(key, value []byte) bool) {
 	if h.closed.Load() {
 		return
 	}
-	h.dirMu.RLock()
-	hks := append([]string(nil), h.dir.SortedKeys()...)
-	h.dirMu.RUnlock()
+	// Directory snapshots are immutable, so the sorted key list can be
+	// iterated without copying or locking.
+	hks := h.dir.Load().SortedKeys()
 
 	for _, hk := range hks {
 		hkb := []byte(hk)
@@ -56,7 +56,7 @@ func (h *HART) Scan(start, end []byte, fn func(key, value []byte) bool) {
 			continue
 		}
 		stop := false
-		s.tree.AscendRange(artStart, artEnd, func(artKey []byte, leafW uint64) bool {
+		s.tree.Load().AscendRange(artStart, artEnd, func(artKey []byte, leafW uint64) bool {
 			leaf := h.leafKeyValue(leafW)
 			if leaf == nil {
 				return true
@@ -111,9 +111,7 @@ func (h *HART) ScanReverse(start, end []byte, fn func(key, value []byte) bool) {
 	if h.closed.Load() {
 		return
 	}
-	h.dirMu.RLock()
-	hks := append([]string(nil), h.dir.SortedKeys()...)
-	h.dirMu.RUnlock()
+	hks := h.dir.Load().SortedKeys()
 
 	for i := len(hks) - 1; i >= 0; i-- {
 		hkb := []byte(hks[i])
@@ -144,7 +142,7 @@ func (h *HART) ScanReverse(start, end []byte, fn func(key, value []byte) bool) {
 			continue
 		}
 		stop := false
-		s.tree.DescendRange(artStart, artEnd, func(artKey []byte, leafW uint64) bool {
+		s.tree.Load().DescendRange(artStart, artEnd, func(artKey []byte, leafW uint64) bool {
 			rec := h.leafKeyValue(leafW)
 			if rec == nil {
 				return true

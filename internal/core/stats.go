@@ -54,7 +54,8 @@ type Stats struct {
 // header + shard struct + sorted-slice entry.
 const dirEntryCost = 128
 
-// Stats collects statistics. It takes every shard's read lock.
+// Stats collects statistics. Lock-free: it walks the current directory
+// snapshot and each shard's published tree, both immutable.
 func (h *HART) Stats() Stats {
 	st := Stats{
 		Records: h.Len(),
@@ -63,21 +64,18 @@ func (h *HART) Stats() Stats {
 	}
 	st.Size.PMBytes = st.Arena.Reserved
 
-	h.dirMu.RLock()
-	shards := make([]*artShard, 0, h.dir.Len())
-	h.dir.Range(func(_ []byte, s *artShard) bool {
+	dir := h.dir.Load()
+	shards := make([]*artShard, 0, dir.Len())
+	dir.Range(func(_ []byte, s *artShard) bool {
 		shards = append(shards, s)
 		return true
 	})
-	dirBytes := h.dir.DRAMBytes()
-	h.dirMu.RUnlock()
+	dirBytes := dir.DRAMBytes()
 
 	st.ARTs = len(shards)
 	st.Size.DRAMBytes = int64(st.ARTs)*dirEntryCost + dirBytes
 	for _, s := range shards {
-		s.mu.RLock()
-		ts := s.tree.Stats()
-		s.mu.RUnlock()
+		ts := s.tree.Load().Stats()
 		st.ART.Records += ts.Records
 		st.ART.Node4s += ts.Node4s
 		st.ART.Node16s += ts.Node16s

@@ -33,6 +33,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"github.com/casl-sdsu/hart/internal/pmem"
 )
@@ -142,8 +143,15 @@ type Allocator struct {
 
 	ulogs ulogPool
 
-	rangeMu sync.RWMutex
-	ranges  []chunkRange // sorted by start
+	// ranges is the chunk-extent index for ChunkOf, published as an
+	// immutable snapshot: registerRange copies, extends and re-publishes
+	// under rangeMu (chunk creation is rare), while lookups — including
+	// BitIsSet on HART's lock-free read path — load the snapshot with a
+	// single atomic read and binary-search it with no lock at all. Chunk
+	// extents are never removed (recycled chunks keep their reservation),
+	// so a stale snapshot is merely short, never wrong.
+	rangeMu sync.Mutex
+	ranges  atomic.Pointer[[]chunkRange] // sorted by start
 }
 
 // chunkSize returns the full byte size of a chunk of the class.
@@ -310,29 +318,43 @@ func (a *Allocator) writeHeader(chunk pmem.Ptr, h header) {
 	a.arena.Persist(chunk, 8)
 }
 
-// registerRange records a chunk extent for ChunkOf.
+// registerRange records a chunk extent for ChunkOf, publishing a fresh
+// snapshot (copy-on-write; see the ranges field).
 func (a *Allocator) registerRange(chunk pmem.Ptr, c Class) {
 	end := chunk + pmem.Ptr(chunkSize(a.classes[c].spec.ObjSize))
 	a.rangeMu.Lock()
 	defer a.rangeMu.Unlock()
-	i := sort.Search(len(a.ranges), func(i int) bool { return a.ranges[i].start >= chunk })
-	if i < len(a.ranges) && a.ranges[i].start == chunk {
+	old := a.rangeSnapshot()
+	i := sort.Search(len(old), func(i int) bool { return old[i].start >= chunk })
+	if i < len(old) && old[i].start == chunk {
 		return // re-registration after free-list reuse
 	}
-	a.ranges = append(a.ranges, chunkRange{})
-	copy(a.ranges[i+1:], a.ranges[i:])
-	a.ranges[i] = chunkRange{start: chunk, end: end, class: c}
+	nu := make([]chunkRange, 0, len(old)+1)
+	nu = append(nu, old[:i]...)
+	nu = append(nu, chunkRange{start: chunk, end: end, class: c})
+	nu = append(nu, old[i:]...)
+	a.ranges.Store(&nu)
 }
 
-// lookupRange finds the chunk containing obj.
+// rangeSnapshot loads the current extent snapshot (possibly empty).
+func (a *Allocator) rangeSnapshot() []chunkRange {
+	if p := a.ranges.Load(); p != nil {
+		return *p
+	}
+	return nil
+}
+
+// lookupRange finds the chunk containing obj. Lock-free: it binary-searches
+// the current immutable snapshot, so the validity check HART's Get performs
+// on every leaf (BitIsSet, Algorithm 4 line 9) costs no shared-lock
+// round trip.
 func (a *Allocator) lookupRange(obj pmem.Ptr) (chunkRange, bool) {
-	a.rangeMu.RLock()
-	defer a.rangeMu.RUnlock()
-	i := sort.Search(len(a.ranges), func(i int) bool { return a.ranges[i].start > obj })
+	ranges := a.rangeSnapshot()
+	i := sort.Search(len(ranges), func(i int) bool { return ranges[i].start > obj })
 	if i == 0 {
 		return chunkRange{}, false
 	}
-	r := a.ranges[i-1]
+	r := ranges[i-1]
 	if obj < r.start+chunkDataOff || obj >= r.end {
 		return chunkRange{}, false
 	}

@@ -24,6 +24,7 @@ package hashdir
 
 import (
 	"sort"
+	"unsafe"
 )
 
 // MaxKeyLen bounds hash-key length; HART's kh is at most the full key
@@ -292,14 +293,33 @@ func (t *Table[V]) Stats() Stats {
 	return st
 }
 
-// DRAMBytes estimates the table's memory footprint (Fig. 10b accounting).
+// Clone returns a deep copy of the table's own state (slot array and
+// sorted key list). Values are copied by assignment and therefore shared
+// when V is a pointer type. HART publishes its directory as an immutable
+// snapshot behind an atomic pointer; shard insertion and removal — rare,
+// per the paper's observation that "the hash table only needs to insert a
+// new key periodically" — clone the current snapshot, mutate the clone
+// and swap it in, so lock-free readers never observe a table mid-mutation.
+func (t *Table[V]) Clone() *Table[V] {
+	c := &Table[V]{
+		slots:  append([]slot[V](nil), t.slots...),
+		mask:   t.mask,
+		live:   t.live,
+		dead:   t.dead,
+		sorted: append([]string(nil), t.sorted...),
+	}
+	return c
+}
+
+// DRAMBytes reports the table's memory footprint (Fig. 10b accounting)
+// from the real slot layout: unsafe.Sizeof covers key, length byte, value
+// word and alignment padding exactly as the Go compiler lays them out.
 func (t *Table[V]) DRAMBytes() int64 {
-	var s slot[V]
-	_ = s
-	per := int64(MaxKeyLen + 1 + 16) // key + len + value word (approx)
+	per := int64(unsafe.Sizeof(slot[V]{}))
 	total := int64(len(t.slots)) * per
 	for _, k := range t.sorted {
-		total += int64(len(k)) + 16
+		// Sorted-list entry: string header + key bytes.
+		total += int64(unsafe.Sizeof("")) + int64(len(k))
 	}
 	return total
 }

@@ -1,0 +1,48 @@
+package pmem
+
+import (
+	"math/bits"
+	"unsafe"
+)
+
+// Atomic word access.
+//
+// HART's lock-free read path (core.Get) loads leaf and allocator words
+// while writers store them, synchronised only by a per-shard seqlock. The
+// Go memory model makes such mixed access a data race unless *both* sides
+// go through sync/atomic, so every 8-byte arena word that a lock-free
+// reader may touch is accessed with the helpers below. They are also what
+// the platform guarantees anyway: an aligned 8-byte MOV is single-copy
+// atomic, which is the same property the persistence protocol already
+// relies on for its failure-atomic header and pointer stores.
+//
+// Arena offsets are little-endian on media (the durable image is
+// byte-ordered, not host-ordered), so on a big-endian host the raw word is
+// byte-swapped after the atomic load / before the atomic store.
+
+// hostBig reports whether the host stores uint64s big-endian.
+var hostBig = func() bool {
+	var x uint16 = 1
+	return *(*byte)(unsafe.Pointer(&x)) == 0
+}()
+
+// le64 converts between host and little-endian word order.
+func le64(v uint64) uint64 {
+	if hostBig {
+		return bits.ReverseBytes64(v)
+	}
+	return v
+}
+
+// word returns the arena word at p as an atomically accessible location.
+// p must be 8-byte aligned; alignedData's base address is 8-byte aligned
+// by construction, so the sum is too.
+func (a *Arena) word(p Ptr) *uint64 {
+	return (*uint64)(unsafe.Pointer(&a.data[p]))
+}
+
+// aligned8 reports whether the slice base is 8-byte aligned. Slices from
+// make always are; Attach images supplied by callers are re-based when not.
+func aligned8(b []byte) bool {
+	return len(b) == 0 || uintptr(unsafe.Pointer(&b[0]))%8 == 0
+}

@@ -183,6 +183,12 @@ func attach(img []byte, cfg Config) (*Arena, error) {
 	if len(img) < HeaderSize || binary.LittleEndian.Uint64(img[offMagic:]) != arenaMagic {
 		return nil, ErrBadMagic
 	}
+	// Atomic word access requires the backing array to be 8-byte aligned
+	// (always true for make, not guaranteed for caller subslices); re-base
+	// into a fresh slice when it is not.
+	if !aligned8(img) {
+		img = append(make([]byte, 0, len(img)), img...)
+	}
 	a := &Arena{
 		data:     img,
 		clock:    latency.NewClock(cfg.Latency),
@@ -300,20 +306,73 @@ func (a *Arena) WriteAt(p Ptr, data []byte) {
 	a.markDirty(p, len(data))
 }
 
-// Read8 loads a little-endian uint64 at p. p must be 8-byte aligned so the
-// load is single-copy atomic with respect to crashes.
+// Read8 loads a little-endian uint64 at p. p must be 8-byte aligned so
+// the load is single-copy atomic — with respect to crashes and, because
+// the load goes through sync/atomic, with respect to concurrent Write8
+// stores from writers that a lock-free reader does not exclude (see
+// atomic.go). Unaligned addresses fall back to a plain load.
 func (a *Arena) Read8(p Ptr) uint64 {
 	a.check(p, 8)
 	a.chargeRead(p, 8)
-	return binary.LittleEndian.Uint64(a.data[p:])
+	if p%8 != 0 {
+		return binary.LittleEndian.Uint64(a.data[p:])
+	}
+	return le64(atomic.LoadUint64(a.word(p)))
 }
 
-// Write8 stores a little-endian uint64 at p (8-byte aligned).
+// Write8 stores a little-endian uint64 at p (8-byte aligned). The store is
+// atomic so lock-free readers racing it observe either the old or the new
+// word, never a torn mix.
 func (a *Arena) Write8(p Ptr, v uint64) {
 	a.check(p, 8)
 	a.chargeWrite(p, 8)
-	binary.LittleEndian.PutUint64(a.data[p:], v)
+	if p%8 != 0 {
+		binary.LittleEndian.PutUint64(a.data[p:], v)
+	} else {
+		atomic.StoreUint64(a.word(p), le64(v))
+	}
 	a.markDirty(p, 8)
+}
+
+// ReadWords copies len(buf) bytes at p into buf using aligned atomic
+// 8-byte loads, so it may race atomic word stores (WriteWords, Write8)
+// without tearing words or tripping the race detector. p must be 8-byte
+// aligned and the containing object must extend to the next word boundary
+// past len(buf). Latency accounting matches ReadAt: one charged load.
+func (a *Arena) ReadWords(p Ptr, buf []byte) {
+	n := len(buf)
+	words := (n + 7) / 8
+	a.check(p, words*8)
+	a.chargeRead(p, n)
+	for i := 0; i < words; i++ {
+		w := le64(atomic.LoadUint64(a.word(p + Ptr(i*8))))
+		if (i+1)*8 <= n {
+			binary.LittleEndian.PutUint64(buf[i*8:], w)
+			continue
+		}
+		for b := i * 8; b < n; b++ {
+			buf[b] = byte(w >> (uint(b%8) * 8))
+		}
+	}
+}
+
+// WriteWords stores data at p using aligned atomic 8-byte stores, zero
+// padding the final partial word. The counterpart of ReadWords for object
+// payloads (HART value objects) that lock-free readers may load while a
+// writer initialises a reused slot. Accounting matches WriteAt.
+func (a *Arena) WriteWords(p Ptr, data []byte) {
+	n := len(data)
+	words := (n + 7) / 8
+	a.check(p, words*8)
+	a.chargeWrite(p, n)
+	for i := 0; i < words; i++ {
+		var w uint64
+		for b := i * 8; b < min((i+1)*8, n); b++ {
+			w |= uint64(data[b]) << (uint(b%8) * 8)
+		}
+		atomic.StoreUint64(a.word(p+Ptr(i*8)), le64(w))
+	}
+	a.markDirty(p, words*8)
 }
 
 // ReadPtr loads a persistent pointer stored at p.

@@ -1,0 +1,13 @@
+#!/bin/sh
+# Tier-1+ gate: everything CI (and a reviewer) needs to trust a change.
+# Build + vet + the full test suite, then the race detector over the
+# packages with lock-free/concurrent paths (core's optimistic reads,
+# hashdir's COW snapshots, epalloc's atomic stats ranges).
+set -eux
+
+cd "$(dirname "$0")/.."
+
+go build ./...
+go vet ./...
+go test ./...
+go test -race -count=1 ./internal/core/ ./internal/hashdir/ ./internal/epalloc/
