@@ -34,6 +34,9 @@ func main() {
 	}
 	st := db.Stats()
 	fmt.Printf("%s: %d records in %d ARTs\n", path, st.Records, st.ARTs)
+	rs := db.LastRecoveryStats()
+	fmt.Printf("  recovery: %d live leaves, %d update logs completed, %d stale slots zeroed, %d orphan values reclaimed\n",
+		rs.LiveLeaves, rs.CompletedULogs, rs.StaleSlotsZeroed, rs.OrphanValues)
 	fmt.Printf("  PM:   %.2f MB reserved of %.2f MB\n",
 		float64(st.Size.PMBytes)/(1<<20), float64(st.Arena.Capacity)/(1<<20))
 	for _, cs := range st.Alloc {

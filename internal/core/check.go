@@ -21,9 +21,12 @@ import (
 //     which makes it reclaimable by the next allocation of that slot
 //     (Algorithm 2 lines 12-16). Anything else is a persistent leak.
 //
-// Check takes every shard's read lock, so it excludes writers.
+// Check takes every shard's read lock, so it excludes writers. It demands
+// full allocator quiescence (epalloc.CheckQuiescent): callers run fsck
+// between operations or after recovery, where an in-flight slot or a
+// busy/armed update log means a write path leaked on its way out.
 func (h *HART) Check() error {
-	if err := h.alloc.Check(); err != nil {
+	if err := h.alloc.CheckQuiescent(); err != nil {
 		return err
 	}
 

@@ -225,6 +225,10 @@ type HART struct {
 
 	size   atomic.Int64
 	closed atomic.Bool
+
+	// recoveryStats records what the most recent recover() did; written
+	// only during recovery (single-threaded), read via LastRecoveryStats.
+	recoveryStats RecoveryStats
 }
 
 // classSpecs returns the allocator class table, binding the Algorithm 2

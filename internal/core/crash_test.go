@@ -372,3 +372,149 @@ func TestUnloggedUpdateFasterPersistCount(t *testing.T) {
 		t.Fatalf("persist counts off: logged %d/op (want >= 6), unlogged %d/op (want <= 5)", logged, unlogged)
 	}
 }
+
+// TestCrashDuringDeleteRecycleEveryPersist sweeps the delete path where
+// the deleted leaf empties its 56-object chunk, so Recycle's persistent
+// recycle-log unlink runs (Algorithm 6) — a path the single-record delete
+// sweep above never reaches. Every boundary must leave each victim key
+// atomically present-or-absent, every survivor intact, and the allocator
+// lists well-formed.
+func TestCrashDuringDeleteRecycleEveryPersist(t *testing.T) {
+	const nkeys = 56 + 8 // two leaf chunks; emptying the newer one unlinks it
+	key := func(i int) []byte { return []byte(fmt.Sprintf("rk%04d", i)) }
+	setup := func(h *HART) {
+		for i := 0; i < nkeys; i++ {
+			if err := h.Put(key(i), []byte("dv")); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	points := 0
+	for fail := int64(0); ; fail++ {
+		h2, crashed := crashHarness(t, fail, setup, func(h *HART) {
+			// Deleting the tail empties the second leaf chunk (and the
+			// second chunk of the matching value class) mid-sequence.
+			for i := nkeys - 1; i >= 40; i-- {
+				if err := h.Delete(key(i)); err != nil {
+					t.Fatal(err)
+				}
+			}
+		})
+		if !crashed {
+			break
+		}
+		points++
+		for i := 0; i < nkeys; i++ {
+			got, ok := h2.Get(key(i))
+			if ok && string(got) != "dv" {
+				t.Fatalf("fail=%d: key %q torn: %q", fail, key(i), got)
+			}
+			if i < 40 && !ok {
+				t.Fatalf("fail=%d: survivor %q lost", fail, key(i))
+			}
+		}
+		if err := h2.Check(); err != nil {
+			t.Fatalf("fail=%d: fsck after recycle crash: %v", fail, err)
+		}
+		// Refill through the recycled space.
+		for i := 0; i < 70; i++ {
+			if err := h2.Put([]byte(fmt.Sprintf("refill%04d", i)), []byte("r")); err != nil {
+				t.Fatalf("fail=%d: refill: %v", fail, err)
+			}
+		}
+		if err := h2.Check(); err != nil {
+			t.Fatalf("fail=%d: fsck after refill: %v", fail, err)
+		}
+	}
+	if points < 20 {
+		t.Fatalf("recycle delete sweep exercised only %d crash points", points)
+	}
+}
+
+// TestCrashDuringRecoveryEveryPersist closes the re-entrancy gap: the
+// first crash lands at every boundary of an update (the op whose recovery
+// does the most PM writes: completing the ulog, resetting it, sweeping
+// stale slots), then recovery itself is crashed at every one of its own
+// persist boundaries, and recovery-after-recovery must still produce the
+// old or new value with a clean fsck.
+func TestCrashDuringRecoveryEveryPersist(t *testing.T) {
+	for fail := int64(0); ; fail++ {
+		h, err := New(Options{ArenaSize: 16 << 20, Tracking: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := h.Put([]byte("upkey"), []byte("oldval")); err != nil {
+			t.Fatal(err)
+		}
+		h.Arena().FailAfterPersists(fail)
+		crashed := false
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					if _, ok := r.(pmem.CrashError); !ok {
+						panic(r)
+					}
+					crashed = true
+				}
+			}()
+			if err := h.Update([]byte("upkey"), []byte("newval")); err != nil {
+				t.Fatal(err)
+			}
+		}()
+		h.Arena().DisarmCrash()
+		if !crashed {
+			break
+		}
+		img, err := h.Arena().DurableImage()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for rfail := int64(0); ; rfail++ {
+			if rfail > 256 {
+				t.Fatalf("fail=%d: recovery persisted more than 256 times", fail)
+			}
+			ar, err := pmem.Attach(append([]byte(nil), img...), pmem.Config{Tracking: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			ar.FailAfterPersists(rfail)
+			recrashed := false
+			func() {
+				defer func() {
+					if r := recover(); r != nil {
+						if _, ok := r.(pmem.CrashError); !ok {
+							panic(r)
+						}
+						recrashed = true
+					}
+				}()
+				_, err = Open(ar, Options{})
+			}()
+			var h2 *HART
+			if recrashed {
+				img2, cerr := ar.Crash(pmem.Config{Tracking: true}, pmem.CrashOptions{})
+				if cerr != nil {
+					t.Fatal(cerr)
+				}
+				if h2, err = Open(img2, Options{}); err != nil {
+					t.Fatalf("fail=%d rfail=%d: recovery after recovery crash: %v", fail, rfail, err)
+				}
+			} else if err != nil {
+				t.Fatalf("fail=%d rfail=%d: open: %v", fail, rfail, err)
+			} else {
+				// Recovery finished before the second injection: sweep done.
+				break
+			}
+			got, ok := h2.Get([]byte("upkey"))
+			if !ok {
+				t.Fatalf("fail=%d rfail=%d: key vanished", fail, rfail)
+			}
+			if s := string(got); s != "oldval" && s != "newval" {
+				t.Fatalf("fail=%d rfail=%d: torn value %q", fail, rfail, s)
+			}
+			if err := h2.Check(); err != nil {
+				t.Fatalf("fail=%d rfail=%d: fsck: %v", fail, rfail, err)
+			}
+		}
+	}
+}

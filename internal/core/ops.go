@@ -46,23 +46,32 @@ func (h *HART) insertNew(s *artShard, artKey, key, value []byte) error {
 	// slot may be a reused one that a stale optimistic reader is still
 	// loading (it will fail seq validation, but the loads race these
 	// stores and must not tear).
+	h.arena.SetPersistSite("insert.value")
 	h.arena.WriteWords(val, value)
 	h.arena.Persist(val, len(value))
 
 	// Line 13: leaf.p_value = &value; persistent(leaf.p_value).
+	h.arena.SetPersistSite("insert.pvalue")
 	h.arena.Write8(leaf+lfPValue, packValue(val, len(value)))
 	h.arena.Persist(leaf+lfPValue, 8)
 
-	// Line 14: set and persist the value bit.
+	// Line 14: set and persist the value bit. On failure neither bit is
+	// set, so both slots must only be released from their volatile
+	// in-flight state — PM already reads them as free.
+	h.arena.SetPersistSite("insert.value-bit")
 	if err := h.alloc.SetBit(val); err != nil {
+		h.alloc.Abort(val)
+		h.alloc.Abort(leaf)
 		return err
 	}
 
 	// Line 15: leaf.key = K; persistent(leaf.key).
+	h.arena.SetPersistSite("insert.key")
 	h.arena.WriteAt(leaf+lfKey, key)
 	h.arena.Persist(leaf+lfKey, len(key))
 
 	// Line 16: leaf.key_len = len(K); persistent(leaf.key_len).
+	h.arena.SetPersistSite("insert.keylen")
 	h.arena.Write1(leaf+lfKeyLen, byte(len(key)))
 	h.arena.Persist(leaf+lfKeyLen, 1)
 
@@ -75,8 +84,21 @@ func (h *HART) insertNew(s *artShard, artKey, key, value []byte) error {
 
 	// Line 18: set and persist the leaf bit. This is the commit point: a
 	// crash anywhere above leaves the leaf bit clear, so the slot reads as
-	// free and the value object is reclaimed by onLeafReuse.
+	// free and the value object is reclaimed by onLeafReuse. On failure
+	// the insert must unwind completely: unpublish the leaf, release the
+	// committed value object, and scrub the dead leaf's value word so a
+	// later reuse of the slot cannot run the Algorithm 2 repair against a
+	// reallocated value.
+	h.arena.SetPersistSite("insert.leaf-bit")
 	if err := h.alloc.SetBit(leaf); err != nil {
+		rb, _, _ := s.tree.Load().CowDelete(artKey)
+		s.tree.Store(rb)
+		if !val.IsNil() {
+			h.alloc.Release(val)
+		}
+		h.arena.Write8(leaf+lfPValue, 0)
+		h.arena.Persist(leaf+lfPValue, 8)
+		h.alloc.Abort(leaf)
 		return err
 	}
 	h.size.Add(1)
@@ -94,6 +116,7 @@ func (h *HART) update(leaf pmem.Ptr, value []byte) error {
 
 	oldW := h.arena.Read8(leaf + lfPValue)
 	oldV, _ := unpackValue(oldW)
+	h.arena.SetPersistSite("update.arm")
 	ulog.Arm(leaf, oldV) // lines 2-3, merged into one persist
 
 	newV, err := h.alloc.Alloc(h.valueClass(len(value))) // line 4
@@ -104,30 +127,45 @@ func (h *HART) update(leaf pmem.Ptr, value []byte) error {
 
 	// Line 5: new_value = V; persistent(new_value). Atomic word stores —
 	// see insertNew.
+	h.arena.SetPersistSite("update.value")
 	h.arena.WriteWords(newV, value)
 	h.arena.Persist(newV, len(value))
 
 	// Line 6: ulog.PNewV = &new_value. The packed word also records the
 	// value length so recovery can rebuild leaf.p_value verbatim.
+	h.arena.SetPersistSite("update.log-newv")
 	newW := packValue(newV, len(value))
 	ulog.SetPNewV(pmem.Ptr(newW))
 
-	// Line 7: set the bit for the new value.
+	// Line 7: set the bit for the new value. On failure the new object's
+	// bit is clear (nothing durable to undo), but the slot must leave its
+	// volatile in-flight state and the armed log must be reclaimed, or the
+	// failed update strands a permanently-busy ulog slot.
+	h.arena.SetPersistSite("update.value-bit")
 	if err := h.alloc.SetBit(newV); err != nil {
+		h.alloc.Abort(newV)
+		ulog.Reclaim()
 		return err
 	}
 
 	// Line 8: swing the leaf's value pointer (single atomic 8-byte store).
+	h.arena.SetPersistSite("update.swing")
 	h.arena.Write8(leaf+lfPValue, newW)
 	h.arena.Persist(leaf+lfPValue, 8)
 
 	// Lines 9-10: release the old value and recycle its chunk if emptied.
+	// The update committed at the pointer swing, so a release failure must
+	// not leave the log armed — reclaim it and surface the error (the old
+	// object's bit leaks until fsck, which is exactly what Check reports).
+	h.arena.SetPersistSite("update.release-old")
 	if !oldV.IsNil() {
 		if err := h.alloc.Release(oldV); err != nil {
+			ulog.Reclaim()
 			return err
 		}
 	}
 
+	h.arena.SetPersistSite("update.reclaim")
 	ulog.Reclaim() // line 11
 	return nil
 }
@@ -329,15 +367,28 @@ func (h *HART) Delete(key []byte) error {
 
 	// Line 11: reset and persist the leaf bit. From here the leaf is dead
 	// even across a crash; its stale p_value drives onLeafReuse repair if
-	// the value-bit reset below never lands.
+	// the value-bit reset below never lands. On failure the record is
+	// still fully committed on PM, so republish it and report the error —
+	// dropping it from the tree alone would lose the key for readers while
+	// recovery would resurrect it.
+	h.arena.SetPersistSite("delete.leaf-bit")
 	if err := h.alloc.ResetBit(leaf); err != nil {
+		rb, _, _ := s.tree.Load().CowInsert(artKey, uint64(leaf))
+		s.tree.Store(rb)
 		return err
 	}
 
+	// The leaf-bit reset above is the commit point: from here the delete
+	// has happened, so later failures must not abandon the remaining
+	// cleanup or the size/shard accounting — finish everything and report
+	// the first error (any leaked value bit is then visible to Check).
+	var firstErr error
+
 	// Lines 12-13: reset the value bit and recycle its chunk if emptied.
+	h.arena.SetPersistSite("delete.value-bit")
 	if !val.IsNil() {
 		if err := h.alloc.Release(val); err != nil {
-			return err
+			firstErr = err
 		}
 	}
 
@@ -347,18 +398,20 @@ func (h *HART) Delete(key []byte) error {
 	// reuse of *this* leaf slot would run the Algorithm 2 repair against
 	// the new owner's live value. A crash before this store lands is
 	// repaired by the recovery sweep (see recover).
+	h.arena.SetPersistSite("delete.scrub-pvalue")
 	h.arena.Write8(leaf+lfPValue, 0)
 	h.arena.Persist(leaf+lfPValue, 8)
 
 	// Line 14: recycle the leaf's chunk if it emptied.
-	if err := h.alloc.Recycle(leaf); err != nil {
-		return err
+	h.arena.SetPersistSite("delete.recycle")
+	if err := h.alloc.Recycle(leaf); err != nil && firstErr == nil {
+		firstErr = err
 	}
 
 	h.size.Add(-1)
 	// Lines 15-16: free the ART if it became empty.
 	h.removeShardIfEmpty(hashKey, s)
-	return nil
+	return firstErr
 }
 
 // GetLeaf returns the PM address of a key's leaf (tests and fsck).
@@ -394,17 +447,22 @@ func (h *HART) updateUnlogged(leaf pmem.Ptr, value []byte) error {
 	if err != nil {
 		return err
 	}
+	h.arena.SetPersistSite("uupdate.value")
 	h.arena.WriteWords(newV, value)
 	h.arena.Persist(newV, len(value))
+	h.arena.SetPersistSite("uupdate.value-bit")
 	if err := h.alloc.SetBit(newV); err != nil {
+		h.alloc.Abort(newV)
 		return err
 	}
 
 	// The atomic pointer swing is the commit point ("updated as the last
 	// step to ensure consistency").
+	h.arena.SetPersistSite("uupdate.swing")
 	h.arena.Write8(leaf+lfPValue, packValue(newV, len(value)))
 	h.arena.Persist(leaf+lfPValue, 8)
 
+	h.arena.SetPersistSite("uupdate.release-old")
 	if !oldV.IsNil() {
 		if err := h.alloc.Release(oldV); err != nil {
 			return err

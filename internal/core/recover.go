@@ -18,13 +18,17 @@ import (
 // values are already on PM: only hash-directory entries and ART internal
 // nodes are created, and no PM write happens for the common case.
 func (h *HART) recover() error {
+	var stats RecoveryStats
+
 	// 1. Update-log recovery. Must run before the index is rebuilt so the
 	// leaves' value pointers are final when the trees are populated.
+	h.arena.SetPersistSite("recover.ulog")
 	for _, ul := range h.alloc.PendingUpdateLogs() {
 		if err := h.recoverUpdate(ul); err != nil {
 			return err
 		}
 		h.alloc.ResetUpdateLogAt(ul.Index)
+		stats.CompletedULogs++
 	}
 
 	// 2. Rebuild the directory and ARTs by walking every leaf chunk
@@ -57,6 +61,7 @@ func (h *HART) recover() error {
 	if err != nil {
 		return err
 	}
+	stats.LiveLeaves = len(liveLeaves)
 	if err := h.rebuildIndex(liveLeaves); err != nil {
 		return err
 	}
@@ -67,6 +72,7 @@ func (h *HART) recover() error {
 	// harmless stale pointer. Reclaim the orphans and zero every stale
 	// word so that no later slot reuse can misinterpret an aliased,
 	// since-reallocated value slot (see Delete for the runtime side).
+	h.arena.SetPersistSite("recover.stale-sweep")
 	for _, leaf := range deadSlots {
 		vp, _ := unpackValue(h.arena.Read8(leaf + lfPValue))
 		if !vp.IsNil() && !liveVals[vp] {
@@ -81,6 +87,7 @@ func (h *HART) recover() error {
 		}
 		h.arena.Write8(leaf+lfPValue, 0)
 		h.arena.Persist(leaf+lfPValue, 8)
+		stats.StaleSlotsZeroed++
 	}
 
 	// 4. Orphan value sweep (mark-and-sweep): any committed value object
@@ -89,6 +96,7 @@ func (h *HART) recover() error {
 	// baseline-style crash window — and is reclaimed here. With Algorithm
 	// 3 updates this finds nothing; either way, a recovered HART starts
 	// leak-free.
+	h.arena.SetPersistSite("recover.orphan-sweep")
 	for i := range h.opts.ValueClasses {
 		c := classValue0 + epalloc.Class(i)
 		var orphans []pmem.Ptr
@@ -104,10 +112,31 @@ func (h *HART) recover() error {
 			if err := h.alloc.Release(vp); err != nil {
 				return err
 			}
+			stats.OrphanValues++
 		}
 	}
+	h.recoveryStats = stats
 	return nil
 }
+
+// RecoveryStats is an inventory of what the last recovery pass did, for
+// hartfsck reporting and recovery tests.
+type RecoveryStats struct {
+	// CompletedULogs counts armed update logs found and resolved.
+	CompletedULogs int
+	// LiveLeaves counts committed leaves rebuilt into the index.
+	LiveLeaves int
+	// StaleSlotsZeroed counts dead leaf slots whose stale value pointer
+	// was scrubbed (orphan values reclaimed along the way).
+	StaleSlotsZeroed int
+	// OrphanValues counts committed but unreachable value objects
+	// reclaimed by the mark-and-sweep pass.
+	OrphanValues int
+}
+
+// LastRecoveryStats reports what the most recent recovery (New, Open or
+// Rebuild) found and repaired.
+func (h *HART) LastRecoveryStats() RecoveryStats { return h.recoveryStats }
 
 // recoverUpdate completes one interrupted Algorithm 3 update, following
 // the paper's case analysis.

@@ -23,6 +23,16 @@ func (h *HART) Scan(start, end []byte, fn func(key, value []byte) bool) {
 	if h.closed.Load() {
 		return
 	}
+	// Normalise the bounds once: an empty start is the same as nil
+	// (nothing sorts below ""), and an empty end means an empty range.
+	// The in-shard bounds derived below then never produce an empty
+	// non-nil slice, which the tree iterators would treat as unbounded.
+	if len(start) == 0 {
+		start = nil
+	}
+	if end != nil && len(end) == 0 {
+		return
+	}
 	// Directory snapshots are immutable, so the sorted key list can be
 	// iterated without copying or locking.
 	hks := h.dir.Load().SortedKeys()
@@ -37,10 +47,11 @@ func (h *HART) Scan(start, end []byte, fn func(key, value []byte) bool) {
 		var artStart, artEnd []byte
 		if start != nil {
 			switch {
-			case bytes.HasPrefix(start, hkb):
-				artStart = start[len(hkb):]
-			case bytes.Compare(hkb, start) > 0:
+			case bytes.Compare(hkb, start) >= 0:
 				artStart = nil // every key in the shard is >= start
+			case bytes.HasPrefix(start, hkb):
+				// hkb < start here, so the suffix is never empty.
+				artStart = start[len(hkb):]
 			default:
 				continue // every key in the shard is < start
 			}
@@ -111,29 +122,42 @@ func (h *HART) ScanReverse(start, end []byte, fn func(key, value []byte) bool) {
 	if h.closed.Load() {
 		return
 	}
+	// Same bound normalisation as Scan.
+	if len(start) == 0 {
+		start = nil
+	}
+	if end != nil && len(end) == 0 {
+		return
+	}
 	hks := h.dir.Load().SortedKeys()
 
 	for i := len(hks) - 1; i >= 0; i-- {
 		hkb := []byte(hks[i])
+		// Every key in the shard is hk + suffix >= hk, so hk >= end means
+		// the whole shard is at/after end. (When end has hkb as a proper
+		// prefix, hkb < end and we fall through; hk >= end with hkb a
+		// prefix of end forces end == hk exactly, which still excludes the
+		// entire shard — the old code fell through in that case and walked
+		// every leaf only for the iterator's end test to discard each one,
+		// an O(shard) descent whose correctness hung on the iterator
+		// distinguishing the empty in-shard bound from an absent one.)
 		if end != nil && bytes.Compare(hkb, end) >= 0 {
-			// The shard may still intersect [start, end) only if end has
-			// hkb as a prefix; otherwise every key hk+s is >= end.
-			if !bytes.HasPrefix(end, hkb) {
-				continue
-			}
+			continue
 		}
 		var artStart, artEnd []byte
 		if start != nil {
 			switch {
+			case bytes.Compare(hkb, start) >= 0:
+				artStart = nil // every key in the shard is >= start
 			case bytes.HasPrefix(start, hkb):
+				// hkb < start here, so the suffix is never empty.
 				artStart = start[len(hkb):]
-			case bytes.Compare(hkb, start) > 0:
-				artStart = nil
 			default:
 				return // sorted descent: everything further is < start
 			}
 		}
 		if end != nil && bytes.HasPrefix(end, hkb) {
+			// Proper prefix (end == hk was skipped above): never empty.
 			artEnd = end[len(hkb):]
 		}
 

@@ -1,0 +1,172 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+	"testing"
+)
+
+// scanRef filters the sorted key set to [start, end) with nil meaning
+// unbounded — the reference both scan directions are checked against.
+func scanRef(keys [][]byte, start, end []byte) [][]byte {
+	var out [][]byte
+	for _, k := range keys {
+		if start != nil && bytes.Compare(k, start) < 0 {
+			continue
+		}
+		if end != nil && bytes.Compare(k, end) >= 0 {
+			continue
+		}
+		out = append(out, k)
+	}
+	return out
+}
+
+func collectScan(h *HART, start, end []byte, reverse bool, limit int) [][]byte {
+	var out [][]byte
+	visit := func(k, _ []byte) bool {
+		out = append(out, append([]byte(nil), k...))
+		return len(out) < limit
+	}
+	if reverse {
+		h.ScanReverse(start, end, visit)
+	} else {
+		h.Scan(start, end, visit)
+	}
+	return out
+}
+
+// TestScanBoundsExhaustive cross-checks Scan and ScanReverse against the
+// reference filter for every bound drawn from the key set, its neighbours
+// (one byte off, truncations, extensions), the shard hash keys themselves
+// (the ScanReverse end == hash-key regression), nil and empty slices —
+// crossed with truncating limits.
+func TestScanBoundsExhaustive(t *testing.T) {
+	h := newHART(t)
+	keys := [][]byte{
+		// Shard "aa" with several suffixes, including the key that IS the
+		// hash key and keys longer than it.
+		[]byte("aa"), []byte("aa0"), []byte("aab"), []byte("aabc"), []byte("aaz"),
+		// Shard "ab" adjacent in hash order.
+		[]byte("ab"), []byte("abb"),
+		// A distant shard.
+		[]byte("zz"), []byte("zzz"),
+	}
+	for i, k := range keys {
+		if err := h.Put(k, []byte(fmt.Sprintf("v%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sorted := append([][]byte(nil), keys...)
+	sort.Slice(sorted, func(i, j int) bool { return bytes.Compare(sorted[i], sorted[j]) < 0 })
+
+	var bounds [][]byte
+	bounds = append(bounds, nil, []byte{})
+	for _, k := range sorted {
+		bounds = append(bounds, k)
+		bounds = append(bounds, k[:len(k)-1]) // truncation (may hit the hash key)
+		bounds = append(bounds, append(k, 0)) // just above
+		kk := append([]byte(nil), k...)
+		kk[len(kk)-1]++
+		bounds = append(bounds, kk) // sibling
+	}
+	// The hash keys themselves and near misses.
+	bounds = append(bounds, []byte("aa"), []byte("ab"), []byte("ac"), []byte("a"), []byte("b"), []byte("zz"), []byte("zzzz"))
+
+	for _, start := range bounds {
+		for _, end := range bounds {
+			want := scanRef(sorted, start, end)
+			for _, limit := range []int{1, 2, len(want), len(sorted) + 1} {
+				if limit < 1 {
+					continue
+				}
+				got := collectScan(h, start, end, false, limit)
+				exp := want
+				if len(exp) > limit {
+					exp = exp[:limit]
+				}
+				if !equalKeySlices(got, exp) {
+					t.Fatalf("Scan(%q,%q) limit %d = %q, want %q", start, end, limit, got, exp)
+				}
+
+				gotR := collectScan(h, start, end, true, limit)
+				expR := reverseKeys(want)
+				if len(expR) > limit {
+					expR = expR[:limit]
+				}
+				if !equalKeySlices(gotR, expR) {
+					t.Fatalf("ScanReverse(%q,%q) limit %d = %q, want %q", start, end, limit, gotR, expR)
+				}
+			}
+		}
+	}
+}
+
+// TestScanReverseEndEqualsHashKey pins the regression directly: with end
+// exactly equal to a shard's hash key, no key of that shard (every one of
+// which is >= end) may be visited, and the preceding shard must still be
+// walked. Before the fix ScanReverse descended the excluded shard with an
+// empty in-shard bound and depended on the iterator rejecting every leaf.
+func TestScanReverseEndEqualsHashKey(t *testing.T) {
+	h := newHART(t)
+	for _, k := range []string{"aa", "aaq", "ab", "abq", "abz"} {
+		if err := h.Put([]byte(k), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := collectScan(h, nil, []byte("ab"), true, 99)
+	want := [][]byte{[]byte("aaq"), []byte("aa")}
+	if !equalKeySlices(got, want) {
+		t.Fatalf("ScanReverse(nil, \"ab\") = %q, want %q", got, want)
+	}
+	// Same bound forwards, for symmetry.
+	got = collectScan(h, nil, []byte("ab"), false, 99)
+	want = [][]byte{[]byte("aa"), []byte("aaq")}
+	if !equalKeySlices(got, want) {
+		t.Fatalf("Scan(nil, \"ab\") = %q, want %q", got, want)
+	}
+}
+
+// TestScanEmptyVsNilBounds pins the normalisation: empty start behaves
+// like nil, empty end selects the empty range (nothing sorts below "").
+func TestScanEmptyVsNilBounds(t *testing.T) {
+	h := newHART(t)
+	for _, k := range []string{"aa", "aaq", "zz"} {
+		if err := h.Put([]byte(k), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, reverse := range []bool{false, true} {
+		all := collectScan(h, nil, nil, reverse, 99)
+		if len(all) != 3 {
+			t.Fatalf("full scan (reverse=%v) returned %d keys", reverse, len(all))
+		}
+		if got := collectScan(h, []byte{}, nil, reverse, 99); !equalKeySlices(got, all) {
+			t.Fatalf("empty start != nil start (reverse=%v): %q", reverse, got)
+		}
+		if got := collectScan(h, nil, []byte{}, reverse, 99); len(got) != 0 {
+			t.Fatalf("empty end visited %q (reverse=%v)", got, reverse)
+		}
+	}
+}
+
+func equalKeySlices(a, b [][]byte) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !bytes.Equal(a[i], b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func reverseKeys(in [][]byte) [][]byte {
+	out := make([][]byte, len(in))
+	for i, k := range in {
+		out[len(in)-1-i] = k
+	}
+	return out
+}

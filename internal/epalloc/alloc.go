@@ -19,6 +19,9 @@ import (
 // Alloc returns, mirroring Algorithm 2 lines 12-16 (reclaiming a value
 // object left behind by an incomplete insertion or deletion).
 func (a *Allocator) Alloc(c Class) (pmem.Ptr, error) {
+	if a.failAlloc.tripped() {
+		return pmem.Nil, ErrInjected
+	}
 	cs := &a.classes[c]
 	cs.mu.Lock()
 	defer cs.mu.Unlock()
@@ -143,6 +146,9 @@ func (a *Allocator) allocChunk(c Class) (pmem.Ptr, error) {
 // refreshes the next-free hint and full indicator. The header is a single
 // 8-byte word, so the commit is failure-atomic (paper Fig. 2).
 func (a *Allocator) SetBit(obj pmem.Ptr) error {
+	if a.failSetBit.tripped() {
+		return ErrInjected
+	}
 	r, ok := a.lookupRange(obj)
 	if !ok {
 		return ErrNotChunkObject
@@ -167,6 +173,9 @@ func (a *Allocator) SetBit(obj pmem.Ptr) error {
 // ResetBit durably marks the slot free (used by deletion, update reclaim
 // and the OnReuse repair path) and refreshes hint and indicator.
 func (a *Allocator) ResetBit(obj pmem.Ptr) error {
+	if a.failResetBit.tripped() {
+		return ErrInjected
+	}
 	r, ok := a.lookupRange(obj)
 	if !ok {
 		return ErrNotChunkObject
@@ -204,6 +213,9 @@ func (a *Allocator) resetBitLocked(cs *classState, r chunkRange, idx int) {
 // 12-13 / Algorithm 3 lines 9-10) fused under one class-lock acquisition
 // and one header read.
 func (a *Allocator) Release(obj pmem.Ptr) error {
+	if a.failResetBit.tripped() {
+		return ErrInjected
+	}
 	r, ok := a.lookupRange(obj)
 	if !ok {
 		return ErrNotChunkObject

@@ -142,3 +142,46 @@ func (a *Allocator) Check() error {
 	}
 	return nil
 }
+
+// CheckQuiescent runs Check plus the invariants that only hold when no
+// operation is in flight:
+//
+//   - no slot is volatile-in-flight (every Alloc was followed by SetBit,
+//     Abort or ResetBit — a lingering in-flight bit is a volatile leak
+//     that makes the slot unallocatable until restart);
+//   - no persistent update log is armed and no volatile ulog slot is busy
+//     (an armed ulog between operations means an update error path forgot
+//     to Reclaim, permanently shrinking the pool).
+//
+// Check stays separate because concurrent callers legitimately hold
+// in-flight slots and armed ulogs mid-operation; quiescent invariants are
+// for the gaps between operations (and for post-recovery states, which
+// must always be quiescent).
+func (a *Allocator) CheckQuiescent() error {
+	if err := a.Check(); err != nil {
+		return err
+	}
+	for i := range a.classes {
+		cs := &a.classes[i]
+		cs.mu.Lock()
+		for chunk, meta := range cs.meta {
+			if meta.inFlight != 0 {
+				cs.mu.Unlock()
+				return fmt.Errorf("%w: class %s chunk %d has in-flight slots %#x (leaked Alloc?)",
+					ErrCorrupt, cs.spec.Name, chunk, meta.inFlight)
+			}
+		}
+		cs.mu.Unlock()
+	}
+	if logs := a.PendingUpdateLogs(); len(logs) != 0 {
+		return fmt.Errorf("%w: %d update log(s) still armed at quiescence (slot %d, leaf %d)",
+			ErrCorrupt, len(logs), logs[0].Index, logs[0].PLeaf)
+	}
+	a.ulogs.mu.Lock()
+	busy := a.ulogs.busy
+	a.ulogs.mu.Unlock()
+	if busy != 0 {
+		return fmt.Errorf("%w: update-log slots %#x busy at quiescence (missing Reclaim?)", ErrCorrupt, busy)
+	}
+	return nil
+}

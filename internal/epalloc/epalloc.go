@@ -152,6 +152,9 @@ type Allocator struct {
 	// so a stale snapshot is merely short, never wrong.
 	rangeMu sync.Mutex
 	ranges  atomic.Pointer[[]chunkRange] // sorted by start
+
+	// Fault injectors (inject.go); disarmed by New/Attach.
+	failSetBit, failResetBit, failAlloc faultCounter
 }
 
 // chunkSize returns the full byte size of a chunk of the class.
@@ -180,6 +183,7 @@ func New(arena *pmem.Arena, specs []ClassSpec) (*Allocator, error) {
 	}
 	a := &Allocator{arena: arena, sb: sb, classes: make([]classState, len(specs))}
 	a.ulogs.cond = sync.NewCond(&a.ulogs.mu)
+	a.DisarmFaults()
 	arena.Write8(sb+sbNumClassesOff, uint64(len(specs)))
 	for i, s := range specs {
 		a.classes[i] = classState{spec: s, meta: make(map[pmem.Ptr]*chunkMeta)}
@@ -215,6 +219,7 @@ func Attach(arena *pmem.Arena, specs []ClassSpec) (*Allocator, error) {
 	}
 	a := &Allocator{arena: arena, sb: sb, classes: make([]classState, n)}
 	a.ulogs.cond = sync.NewCond(&a.ulogs.mu)
+	a.DisarmFaults()
 	for i, s := range specs {
 		ce := a.classEntry(Class(i))
 		pmSize := int64(arena.Read8(ce + ceObjSizeOff))

@@ -1,0 +1,122 @@
+package modelcheck
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+
+	"github.com/casl-sdsu/hart/internal/core"
+)
+
+// model is the plain in-memory reference: exactly a map, nothing shared
+// with the implementation under test.
+type model map[string]string
+
+// clone copies the model.
+func (m model) clone() model {
+	nu := make(model, len(m))
+	for k, v := range m {
+		nu[k] = v
+	}
+	return nu
+}
+
+// apply mutates the model with one operation (scans are no-ops).
+func (m model) apply(op Op) {
+	switch op.Kind {
+	case OpPut:
+		m[string(op.Key)] = string(op.Value)
+	case OpDelete:
+		delete(m, string(op.Key))
+	case OpBatch:
+		for _, r := range op.Batch {
+			m[string(r.Key)] = string(r.Value)
+		}
+	}
+}
+
+// scan returns the model's [start, end) keys, ascending.
+func (m model) scan(start, end []byte) []core.Record {
+	var out []core.Record
+	for k, v := range m {
+		kb := []byte(k)
+		if start != nil && bytes.Compare(kb, start) < 0 {
+			continue
+		}
+		if end != nil && bytes.Compare(kb, end) >= 0 {
+			continue
+		}
+		out = append(out, core.Record{Key: kb, Value: []byte(v)})
+	}
+	sort.Slice(out, func(i, j int) bool { return bytes.Compare(out[i].Key, out[j].Key) < 0 })
+	return out
+}
+
+// equal reports whether the model matches a dumped store state.
+func (m model) equal(dump model) bool {
+	if len(m) != len(dump) {
+		return false
+	}
+	for k, v := range m {
+		if dump[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// diff describes the first discrepancy between model and dump (for
+// failure messages; both sides sorted for stability).
+func (m model) diff(dump model) string {
+	var keys []string
+	seen := map[string]bool{}
+	for k := range m {
+		keys = append(keys, k)
+		seen[k] = true
+	}
+	for k := range dump {
+		if !seen[k] {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		mv, mok := m[k]
+		dv, dok := dump[k]
+		switch {
+		case !dok:
+			return fmt.Sprintf("key %q: model has %q, store missing", k, mv)
+		case !mok:
+			return fmt.Sprintf("key %q: store has %q, model missing", k, dv)
+		case mv != dv:
+			return fmt.Sprintf("key %q: model %q, store %q", k, mv, dv)
+		}
+	}
+	return "equal"
+}
+
+// legalStates enumerates every state the store may legally expose after
+// a crash during op (applied to pre): the op not applied, fully applied,
+// and — for a batch — every sorted prefix of its records, because
+// PutBatch applies records in sorted key order and each record commits
+// individually.
+func legalStates(pre model, op Op) []model {
+	states := []model{pre}
+	switch op.Kind {
+	case OpPut, OpDelete:
+		post := pre.clone()
+		post.apply(op)
+		states = append(states, post)
+	case OpBatch:
+		recs := make([]core.Record, len(op.Batch))
+		copy(recs, op.Batch)
+		sort.Slice(recs, func(i, j int) bool { return bytes.Compare(recs[i].Key, recs[j].Key) < 0 })
+		cur := pre
+		for _, r := range recs {
+			cur = cur.clone()
+			cur[string(r.Key)] = string(r.Value)
+			states = append(states, cur)
+		}
+	}
+	return states
+}

@@ -80,10 +80,16 @@ var (
 type CrashError struct {
 	// Persists is the number of persists that completed before the crash.
 	Persists int64
+	// Site is the persist-site label current when the crash fired (set by
+	// SetPersistSite; empty when the crashing code path is unlabeled).
+	Site string
 }
 
 // Error implements the error interface.
 func (e CrashError) Error() string {
+	if e.Site != "" {
+		return fmt.Sprintf("pmem: injected crash after %d persists (site %s)", e.Persists, e.Site)
+	}
 	return fmt.Sprintf("pmem: injected crash after %d persists", e.Persists)
 }
 
@@ -141,6 +147,11 @@ type Arena struct {
 	// failAfter < 0 disables injection. Otherwise a Persist that observes
 	// persists == failAfter panics with CrashError before applying.
 	failAfter atomic.Int64
+
+	// site labels the persist boundaries currently being executed for
+	// crash diagnostics (SetPersistSite). Maintained only in Tracking
+	// mode so the label stores cost nothing on benchmark arenas.
+	site atomic.Pointer[string]
 
 	persists       atomic.Int64
 	persistedLines atomic.Int64
@@ -245,14 +256,21 @@ func (a *Arena) Reserve(size int64, align int64) (Ptr, error) {
 			ErrOutOfMemory, size, start, len(a.data))
 	}
 	binary.LittleEndian.PutUint64(a.data[offCursor:], uint64(start+size))
-	a.Persist(Ptr(offCursor), 8)
+	// The cursor lives inside the arena header, below the range check's
+	// floor; persist it via the unchecked path. It is still a real,
+	// injectable persist boundary.
+	a.persistAt(Ptr(offCursor), 8)
 	return Ptr(start), nil
 }
 
 // check panics if [p, p+size) is out of bounds. Out-of-bounds PM access is
-// a program bug (wild persistent pointer), not a runtime condition.
+// a program bug (wild persistent pointer), not a runtime condition. The
+// lower bound is HeaderSize, not 1: the first HeaderSize bytes hold the
+// arena's own metadata (magic, capacity, bump cursor), and a wild pointer
+// into them (0 < p < HeaderSize) would silently corrupt the header —
+// rejecting only Ptr(0) let exactly that through.
 func (a *Arena) check(p Ptr, size int) {
-	if p == Nil || int64(p)+int64(size) > int64(len(a.data)) || size < 0 {
+	if p < HeaderSize || size < 0 || int64(p)+int64(size) > int64(len(a.data)) {
 		panic(fmt.Sprintf("pmem: access [%d,%d) out of arena bounds [%d,%d)",
 			p, int64(p)+int64(size), HeaderSize, len(a.data)))
 	}
@@ -404,8 +422,14 @@ func (a *Arena) Write1(p Ptr, v byte) {
 // one.
 func (a *Arena) Persist(p Ptr, size int) {
 	a.check(p, size)
+	a.persistAt(p, size)
+}
+
+// persistAt is Persist without the bounds check; only the arena's own
+// header persists (Reserve's cursor update) take this entry directly.
+func (a *Arena) persistAt(p Ptr, size int) {
 	if fa := a.failAfter.Load(); fa >= 0 && a.persists.Load() >= fa {
-		panic(CrashError{Persists: a.persists.Load()})
+		panic(CrashError{Persists: a.persists.Load(), Site: a.PersistSite()})
 	}
 	a.persists.Add(1)
 	first := int64(p) / lineSize
@@ -449,6 +473,26 @@ func (a *Arena) FailAfterPersists(n int64) {
 
 // DisarmCrash cancels any pending injected crash.
 func (a *Arena) DisarmCrash() { a.failAfter.Store(-1) }
+
+// SetPersistSite labels the persist boundaries executed from here until
+// the next SetPersistSite call, so an injected crash can report *which*
+// algorithm step it interrupted (CrashError.Site). Call sites pass short
+// static strings ("insert.value-bit", "delete.leaf-bit", ...). The label
+// is only recorded on Tracking arenas — crash injection requires Tracking
+// anyway — so production and benchmark arenas pay a single branch.
+func (a *Arena) SetPersistSite(site string) {
+	if a.tracking {
+		a.site.Store(&site)
+	}
+}
+
+// PersistSite returns the current persist-site label ("" if none).
+func (a *Arena) PersistSite() string {
+	if p := a.site.Load(); p != nil {
+		return *p
+	}
+	return ""
+}
 
 // Persists returns the number of completed Persist calls.
 func (a *Arena) Persists() int64 { return a.persists.Load() }

@@ -84,6 +84,14 @@ func TestOutOfBoundsPanics(t *testing.T) {
 		"past end":    func() { a.Read8(Ptr(4090)) },
 		"write past":  func() { a.WriteAt(Ptr(4000), make([]byte, 200)) },
 		"persist nil": func() { a.Persist(Nil, 8) },
+		// Sub-header accesses (0 < p < HeaderSize) are wild pointers into
+		// the arena's own metadata; a write there would corrupt the magic
+		// or the bump cursor. Regression: check used to admit them.
+		"header read":     func() { a.Read8(Ptr(8)) },
+		"header write":    func() { a.Write8(Ptr(offCursor), 0xdead) },
+		"header write1":   func() { a.Write1(Ptr(HeaderSize-1), 1) },
+		"header persist":  func() { a.Persist(Ptr(8), 8) },
+		"straddle header": func() { a.WriteAt(Ptr(HeaderSize-8), make([]byte, 16)) },
 	} {
 		func() {
 			defer func() {
@@ -333,5 +341,53 @@ func TestConcurrentReserve(t *testing.T) {
 func TestAttachValidatesMagic(t *testing.T) {
 	if _, err := attach(make([]byte, 4096), Config{}); !errors.Is(err, ErrBadMagic) {
 		t.Fatalf("attach on zero image: %v", err)
+	}
+}
+
+// TestHeaderRejectionPreservesCursor verifies the regression the
+// sub-header check closes: a wild store into the header must panic
+// *before* mutating anything, leaving reservations working.
+func TestHeaderRejectionPreservesCursor(t *testing.T) {
+	a := newTracked(t, 8192)
+	before := a.Reserved()
+	func() {
+		defer func() { _ = recover() }()
+		a.Write8(Ptr(offCursor), 1<<40)
+	}()
+	if got := a.Reserved(); got != before {
+		t.Fatalf("cursor corrupted by rejected header write: %d != %d", got, before)
+	}
+	if _, err := a.Reserve(64, 8); err != nil {
+		t.Fatalf("Reserve after rejected header write: %v", err)
+	}
+}
+
+// TestPersistSiteLabel verifies crash-site labeling: the CrashError of an
+// injected crash carries the most recent SetPersistSite label.
+func TestPersistSiteLabel(t *testing.T) {
+	a := newTracked(t, 8192)
+	p, _ := a.Reserve(64, 8)
+	a.SetPersistSite("step-one")
+	a.Write8(p, 1)
+	a.Persist(p, 8)
+	if got := a.PersistSite(); got != "step-one" {
+		t.Fatalf("PersistSite = %q, want step-one", got)
+	}
+	a.SetPersistSite("step-two")
+	a.FailAfterPersists(0)
+	var ce CrashError
+	func() {
+		defer func() {
+			r := recover()
+			var ok bool
+			if ce, ok = r.(CrashError); !ok {
+				t.Fatalf("expected CrashError, got %v", r)
+			}
+		}()
+		a.Write8(p, 2)
+		a.Persist(p, 8)
+	}()
+	if ce.Site != "step-two" {
+		t.Fatalf("CrashError.Site = %q, want step-two", ce.Site)
 	}
 }

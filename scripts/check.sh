@@ -11,3 +11,9 @@ go build ./...
 go vet ./...
 go test ./...
 go test -race -count=1 ./internal/core/ ./internal/hashdir/ ./internal/epalloc/
+
+# Differential crash-consistency model checker: the deterministic quick
+# suite (every persist boundary of fixed + seeded histories), then a short
+# fuzz smoke over the byte-string history decoder.
+go test -count=1 ./internal/modelcheck/
+go test -run='^$' -fuzz=FuzzModelCheck -fuzztime=10s ./internal/modelcheck/
