@@ -29,9 +29,11 @@ import (
 
 func main() {
 	var (
-		fig     = flag.String("fig", "all", "figure to run: all, 4, 5, 6, 7, 8, 9, 10a, 10b, 10c, 10d, summary, ablation, readpath")
+		fig     = flag.String("fig", "all", "figure to run: all, 4, 5, 6, 7, 8, 9, 10a, 10b, 10c, 10d, summary, ablation, readpath, writepath")
 		rpOut   = flag.String("readpath-out", "BENCH_readpath.json", "output file for -fig readpath")
+		wpOut   = flag.String("writepath-out", "BENCH_writepath.json", "output file for -fig writepath")
 		records = flag.Int("records", 100000, "Sequential/Random record count")
+		valsize = flag.Int("valuesize", 0, "record payload bytes (default 8; max 16)")
 		dict    = flag.Int("dict", 0, "Dictionary size (default min(records, 466544); pass 466544 for the paper's corpus)")
 		mixed   = flag.Int("mixedops", 0, "mixed-workload operation count (default records)")
 		mode    = flag.String("mode", "spin", "latency injection: spin (wall-clock) or account (added offline, the paper's method)")
@@ -43,7 +45,7 @@ func main() {
 	)
 	flag.Parse()
 
-	cfg := bench.Config{Records: *records, MixedOps: *mixed, Out: os.Stderr}
+	cfg := bench.Config{Records: *records, MixedOps: *mixed, ValueSize: *valsize, Out: os.Stderr}
 	if *quiet {
 		cfg.Out = nil
 	}
@@ -68,6 +70,13 @@ func main() {
 	if *threads != "" {
 		cfg.Threads = parseInts(*threads)
 	}
+	// The path comparisons keep their checked-in 1/4/8 matrix unless the
+	// user passed -threads explicitly (the flag's default serves fig 10d).
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "threads" {
+			cfg.PathThreads = cfg.Threads
+		}
+	})
 	cfg = cfg.WithDefaults()
 
 	var (
@@ -100,6 +109,9 @@ func main() {
 	case "readpath":
 		runReadPath(cfg, *rpOut)
 		return
+	case "writepath":
+		runWritePath(cfg, *wpOut)
+		return
 	case "summary":
 		rep, err = runBasics(cfg)
 	case "ablation":
@@ -123,6 +135,25 @@ func main() {
 // records it as JSON (the before/after evidence for the optimisation).
 func runReadPath(cfg bench.Config, out string) {
 	rep, err := bench.RunReadPath(cfg)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	rep.FprintTable(os.Stdout)
+	f, err := os.Create(out)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	defer f.Close()
+	if err := rep.WriteJSON(f); err != nil {
+		fatalf("%v", err)
+	}
+	fmt.Fprintf(os.Stderr, "hartbench: wrote %s\n", out)
+}
+
+// runWritePath runs the striped vs legacy write-path comparison and
+// records it as JSON (the before/after evidence for the optimisation).
+func runWritePath(cfg bench.Config, out string) {
+	rep, err := bench.RunWritePath(cfg)
 	if err != nil {
 		fatalf("%v", err)
 	}

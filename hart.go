@@ -82,10 +82,23 @@ type Options struct {
 	// per-ART read lock). It exists as the benchmark baseline for the
 	// read-path experiment; leave it unset in normal use.
 	LockedReads bool
+	// LegacyWritePath disables the striped write path and restores the
+	// pre-striping behaviour (single allocator stripe, serialised
+	// micro-log pool, per-key batch publication). It exists as the
+	// benchmark baseline for the write-path experiment; leave it unset
+	// in normal use.
+	LegacyWritePath bool
 }
 
+// Record is one key-value pair for DB.PutBatch. The alias makes the
+// promoted batch methods callable: their signatures name this type.
+type Record = core.Record
+
 // DB is a HART index. All methods are safe for concurrent use; writers to
-// different ARTs (different leading key bytes) run in parallel.
+// different ARTs (different leading key bytes) run in parallel. Bulk
+// writes should prefer PutBatch, which groups records by ART and pays
+// the per-shard costs (write lock, allocator trips, persist barriers,
+// copy-on-write republication) once per group instead of once per key.
 type DB struct {
 	*core.HART
 }
@@ -93,11 +106,12 @@ type DB struct {
 // coreOptions translates the public options.
 func (o Options) coreOptions() core.Options {
 	opts := core.Options{
-		HashKeyLen:   o.HashKeyLen,
-		ArenaSize:    o.ArenaSize,
-		Tracking:     o.CrashSimulation,
-		ValueClasses: o.ValueClasses,
-		LockedReads:  o.LockedReads,
+		HashKeyLen:      o.HashKeyLen,
+		ArenaSize:       o.ArenaSize,
+		Tracking:        o.CrashSimulation,
+		ValueClasses:    o.ValueClasses,
+		LockedReads:     o.LockedReads,
+		LegacyWritePath: o.LegacyWritePath,
 	}
 	if o.PMWriteNs > 0 || o.PMReadNs > 0 {
 		opts.Latency = latency.Config{

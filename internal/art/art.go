@@ -65,11 +65,15 @@ func (*leaf) kind() Kind { return KindLeaf }
 // inner is the embedded header common to all inner node types. prefix is
 // the full compressed path segment below the parent edge byte (pessimistic
 // path compression). term is the terminator leaf for a key ending exactly
-// at this node.
+// at this node. owner tags nodes created (or first cloned) by an open
+// Batch so later inserts of the same batch may mutate them in place
+// instead of cloning again; it is meaningless — never a license to mutate
+// — once the batch commits (see batch.go).
 type inner struct {
 	prefix []byte
 	term   *leaf
 	n      int // number of populated children (terminator excluded)
+	owner  *Batch
 }
 
 type node4 struct {

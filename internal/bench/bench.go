@@ -54,6 +54,9 @@ type Config struct {
 	ScaleSweep []int
 	// Threads lists the Fig. 10d thread counts.
 	Threads []int
+	// PathThreads lists the thread counts of the read-path and write-path
+	// comparisons (nil = the checked-in default, 1/4/8).
+	PathThreads []int
 	// Out receives progress and tables.
 	Out io.Writer
 }

@@ -139,7 +139,10 @@ func RunReadPath(c Config) (*ReadPathReport, error) {
 		SpeedupGet:     map[string]float64{},
 		SpeedupGetInto: map[string]float64{},
 	}
-	threads := []int{1, 4, 8}
+	threads := c.PathThreads
+	if len(threads) == 0 {
+		threads = []int{1, 4, 8}
+	}
 	lockedGet := map[int]float64{}
 
 	for _, locked := range []bool{true, false} {
@@ -191,7 +194,7 @@ func (r *ReadPathReport) FprintTable(w io.Writer) {
 		fmt.Fprintf(w, "%-10s %-10s %-8d %12.1f %10.2f %10.3f\n",
 			res.Mode, res.Op, res.Threads, res.NsPerOp, res.AllocsPerOp, res.MOPS)
 	}
-	for _, t := range []string{"t1", "t4", "t8"} {
+	for _, t := range sortedKeys(r.SpeedupGet) {
 		fmt.Fprintf(w, "speedup %s: Get %.2fx, GetInto %.2fx\n",
 			t, r.SpeedupGet[t], r.SpeedupGetInto[t])
 	}

@@ -1,0 +1,367 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/casl-sdsu/hart/internal/core"
+	"github.com/casl-sdsu/hart/internal/workload"
+)
+
+// Write-path experiment: the striped write path (per-stripe EPallocator
+// lists, lock-free micro-log claims, batched COW publication) against the
+// pre-striping baseline, reproduced bit-for-bit by core's LegacyWritePath
+// option. Latency injection is off for the same reason as the read-path
+// experiment: the subject is the synchronisation and publication cost of
+// the write path itself, which identical PM penalties would only dilute.
+
+// WritePathBatchSize is the batch size of the bulk-load comparison.
+const WritePathBatchSize = 64
+
+// WritePathResult is one measured cell of the write-path comparison.
+type WritePathResult struct {
+	// Mode is "legacy" (baseline) or "striped".
+	Mode string `json:"mode"`
+	// Op is Put, Mixed50/50, PutSeq or PutBatch64. Put and Mixed50/50 are
+	// steady-state random updates of a preloaded index; PutSeq and
+	// PutBatch64 are per-record costs of bulk-inserting a second sorted key
+	// set with the writers partitioned over disjoint key ranges, one by one
+	// and in 64-record batches respectively.
+	Op string `json:"op"`
+	// Threads is the GOMAXPROCS / parallel-worker count.
+	Threads int `json:"threads"`
+	// NsPerOp is the mean wall-clock cost per operation (per record for
+	// the bulk-load rows).
+	NsPerOp float64 `json:"ns_per_op"`
+	// AllocsPerOp is the mean heap allocations per operation.
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	// MOPS is millions of operations per second (all workers combined).
+	MOPS float64 `json:"mops"`
+}
+
+// WritePathReport is the BENCH_writepath.json document, shaped like
+// BENCH_readpath.json so benchdiff.sh reads both.
+type WritePathReport struct {
+	// Records is the preloaded record count; ValueSize its payload bytes.
+	Records   int `json:"records"`
+	ValueSize int `json:"value_size"`
+	// BatchSize is the PutBatch group size of the bulk-load rows.
+	BatchSize int `json:"batch_size"`
+	// NumCPU records the machine's parallelism so speedups can be read in
+	// context (on a single-core host the win is the elimination of lock
+	// handoffs and per-record publications, not parallel scaling).
+	NumCPU  int               `json:"num_cpu"`
+	Results []WritePathResult `json:"results"`
+	// SpeedupPut maps "t<threads>" to legacy ns/record ÷ striped ns/record
+	// for the PutBatch64 bulk insert at that writer count: the write
+	// throughput gain of the striped path (batched publication, striped
+	// allocator, lock-free log claims) over the per-record baseline when
+	// the workload is writing records in bulk.
+	SpeedupPut map[string]float64 `json:"speedup_put"`
+	// BatchAmortisation maps the mode to PutSeq ns/record ÷ PutBatch64
+	// ns/record at the lowest measured thread count: how much a 64-record
+	// batch saves per record over single-key Puts for the same sorted
+	// bulk insert.
+	BatchAmortisation map[string]float64 `json:"batch_amortisation"`
+}
+
+// writePathIndex builds a HART with latency off and the given write mode,
+// preloaded with the steady-state key set. Updates stay micro-logged (the
+// default) so the Put benchmark exercises the update-log pool.
+func writePathIndex(c Config, legacy bool) (*core.HART, [][]byte, error) {
+	h, err := core.New(core.Options{
+		ArenaSize:       arenaSize("HART", c.Records),
+		LegacyWritePath: legacy,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	keys := workload.Random(c.Records, c.Seed)
+	val := make([]byte, c.ValueSize)
+	for i := range val {
+		val[i] = byte('a' + i%26)
+	}
+	for _, k := range keys {
+		if err := h.Put(k, val); err != nil {
+			return nil, nil, err
+		}
+	}
+	return h, keys, nil
+}
+
+// benchWriteOp measures one steady-state op at one thread count via the
+// testing harness (b.RunParallel over GOMAXPROCS workers). Put overwrites
+// preloaded keys, so every op takes the full update path: micro-log claim,
+// value allocation, persist, old-value release.
+func benchWriteOp(h *core.HART, keys [][]byte, threads int, op string, valueSize int) WritePathResult {
+	prev := runtime.GOMAXPROCS(threads)
+	defer runtime.GOMAXPROCS(prev)
+	mask := len(keys) - 1 // Records is kept a power of two by RunWritePath
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		b.RunParallel(func(pb *testing.PB) {
+			rng := newRng(int64(threads)*2027 + 11)
+			buf := make([]byte, 0, 64)
+			val := make([]byte, valueSize)
+			for i := range val {
+				val[i] = byte('A' + i%26)
+			}
+			for pb.Next() {
+				k := keys[int(rng.next())&mask]
+				switch op {
+				case "Put":
+					if err := h.Put(k, val); err != nil {
+						b.Fatal(err)
+					}
+				case "Mixed50/50":
+					if rng.next()%100 < 50 {
+						if err := h.Put(k, val); err != nil {
+							b.Fatal(err)
+						}
+					} else if _, ok := h.GetInto(k, buf); !ok {
+						b.Fatal("miss")
+					}
+				}
+			}
+		})
+	})
+	ns := float64(res.NsPerOp())
+	return WritePathResult{
+		Op:          op,
+		Threads:     threads,
+		NsPerOp:     ns,
+		AllocsPerOp: float64(res.MemAllocs) / float64(res.N),
+		MOPS:        1e3 / ns,
+	}
+}
+
+// benchBulkLoad measures multi-threaded insert throughput: a preloaded
+// index (so the hash directory's shards already exist and the measurement
+// isolates the write path, not one-off directory growth) receives a
+// second, disjoint, globally sorted key set, partitioned contiguously
+// across the writer goroutines. Each writer inserts its partition one by
+// one when batch is 0, else through PutBatch groups of that size. Sorted
+// contiguous partitions are the bulk-load scenario the batched path is
+// built for — consecutive records share hash-directory shards, so one
+// group pays one tree clone-walk, one coalesced bit commit and one
+// publication for many records — and they keep the writers on disjoint
+// shards, the parallelism HART's per-ART writer model promises.
+func benchBulkLoad(c Config, legacy bool, keys [][]byte, batch, threads int) (WritePathResult, error) {
+	h, _, err := writePathIndex(c, legacy)
+	if err != nil {
+		return WritePathResult{}, err
+	}
+	defer h.Close()
+	val := make([]byte, c.ValueSize)
+	for i := range val {
+		val[i] = byte('A' + i%26)
+	}
+	// Pre-create every shard the load keys hash to (a 4-byte sentinel per
+	// distinct 2-byte prefix, disjoint from the ≥5-byte workload keys).
+	// Shard creation republishes the whole hash directory — a rare,
+	// identical-in-both-modes cost the paper's analysis ("the hash table
+	// only needs to insert a new key periodically") keeps off the steady
+	// write path, and which would otherwise drown the per-record costs
+	// this comparison measures.
+	seen := make(map[string]bool)
+	for _, k := range loadKeysPrefixes(keys) {
+		if !seen[k] {
+			seen[k] = true
+			if err := h.Put([]byte(k+"~!"), val); err != nil {
+				return WritePathResult{}, err
+			}
+		}
+	}
+	pre := h.Len()
+	runtime.GC() // retire the preload's garbage outside the timed region
+	prev := runtime.GOMAXPROCS(threads)
+	defer runtime.GOMAXPROCS(prev)
+
+	var wg sync.WaitGroup
+	errs := make(chan error, threads)
+	per := (len(keys) + threads - 1) / threads
+	var ms0, ms1 runtime.MemStats
+	runtime.ReadMemStats(&ms0)
+	start := time.Now()
+	for w := 0; w < threads; w++ {
+		part := keys[min(w*per, len(keys)):min((w+1)*per, len(keys))]
+		if len(part) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(part [][]byte) {
+			defer wg.Done()
+			if batch == 0 {
+				for _, k := range part {
+					if err := h.Put(k, val); err != nil {
+						errs <- err
+						return
+					}
+				}
+				return
+			}
+			recs := make([]core.Record, 0, batch)
+			for i := 0; i < len(part); i += batch {
+				recs = recs[:0]
+				for _, k := range part[i:min(i+batch, len(part))] {
+					recs = append(recs, core.Record{Key: k, Value: val})
+				}
+				if n, err := h.PutBatch(recs); err != nil || n != len(recs) {
+					errs <- fmt.Errorf("PutBatch = (%d,%v)", n, err)
+					return
+				}
+			}
+		}(part)
+	}
+	wg.Wait()
+	d := time.Since(start)
+	runtime.ReadMemStats(&ms1)
+	close(errs)
+	for err := range errs {
+		return WritePathResult{}, err
+	}
+	if got := h.Len(); got != pre+len(keys) {
+		return WritePathResult{}, fmt.Errorf("bulk load left %d records, want %d", got, pre+len(keys))
+	}
+	op := "PutSeq"
+	if batch > 0 {
+		op = fmt.Sprintf("PutBatch%d", batch)
+	}
+	ns := float64(d.Nanoseconds()) / float64(len(keys))
+	return WritePathResult{
+		Op:          op,
+		Threads:     threads,
+		NsPerOp:     ns,
+		AllocsPerOp: float64(ms1.Mallocs-ms0.Mallocs) / float64(len(keys)),
+		MOPS:        1e3 / ns,
+	}, nil
+}
+
+// loadKeysPrefixes returns each key's hash-directory prefix (the first
+// core.DefaultHashKeyLen bytes) in input order.
+func loadKeysPrefixes(keys [][]byte) []string {
+	out := make([]string, len(keys))
+	for i, k := range keys {
+		out[i] = string(k[:core.DefaultHashKeyLen])
+	}
+	return out
+}
+
+// RunWritePath measures the write-path comparison and returns the report.
+func RunWritePath(c Config) (*WritePathReport, error) {
+	c = c.WithDefaults()
+	// Power-of-two record count for mask indexing.
+	n := 1
+	for n*2 <= c.Records {
+		n *= 2
+	}
+	c.Records = n
+
+	rep := &WritePathReport{
+		Records:           c.Records,
+		ValueSize:         c.ValueSize,
+		BatchSize:         WritePathBatchSize,
+		NumCPU:            runtime.NumCPU(),
+		SpeedupPut:        map[string]float64{},
+		BatchAmortisation: map[string]float64{},
+	}
+	threads := c.PathThreads
+	if len(threads) == 0 {
+		threads = []int{1, 4, 8}
+	}
+	legacyBatch := map[int]float64{}
+
+	// Distinct key set for the bulk inserts, sorted: loading sorted input
+	// is where batching amortises, and both sides get the same order.
+	loadKeys := workload.Random(c.Records, c.Seed+1)
+	sort.Slice(loadKeys, func(i, j int) bool { return bytes.Compare(loadKeys[i], loadKeys[j]) < 0 })
+
+	for _, legacy := range []bool{true, false} {
+		mode := "striped"
+		if legacy {
+			mode = "legacy"
+		}
+		h, keys, err := writePathIndex(c, legacy)
+		if err != nil {
+			return nil, err
+		}
+		for _, t := range threads {
+			for _, op := range []string{"Put", "Mixed50/50"} {
+				fmt.Fprintf(c.Out, "writepath: %s %s threads=%d...\n", mode, op, t)
+				r := benchWriteOp(h, keys, t, op, c.ValueSize)
+				r.Mode = mode
+				rep.Results = append(rep.Results, r)
+			}
+		}
+		h.Close()
+
+		for _, t := range threads {
+			var seqNs float64
+			for _, batch := range []int{0, WritePathBatchSize} {
+				fmt.Fprintf(c.Out, "writepath: %s bulk insert batch=%d threads=%d...\n", mode, batch, t)
+				r, err := benchBulkLoad(c, legacy, loadKeys, batch, t)
+				if err != nil {
+					return nil, err
+				}
+				r.Mode = mode
+				rep.Results = append(rep.Results, r)
+				if batch == 0 {
+					seqNs = r.NsPerOp
+					continue
+				}
+				if t == threads[0] {
+					rep.BatchAmortisation[mode] = seqNs / r.NsPerOp
+				}
+				if legacy {
+					legacyBatch[t] = r.NsPerOp
+				} else if base := legacyBatch[t]; base > 0 {
+					rep.SpeedupPut[fmt.Sprintf("t%d", t)] = base / r.NsPerOp
+				}
+			}
+		}
+	}
+	return rep, nil
+}
+
+// sortedKeys returns the map's "t<threads>" keys in numeric order.
+func sortedKeys(m map[string]float64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		return len(keys[i]) < len(keys[j]) || (len(keys[i]) == len(keys[j]) && keys[i] < keys[j])
+	})
+	return keys
+}
+
+// WriteJSON writes the report as indented JSON.
+func (r *WritePathReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// FprintTable renders the report for the terminal.
+func (r *WritePathReport) FprintTable(w io.Writer) {
+	fmt.Fprintf(w, "\n== Write path: legacy baseline vs striped (records=%d, value=%dB, batch=%d, NumCPU=%d) ==\n",
+		r.Records, r.ValueSize, r.BatchSize, r.NumCPU)
+	fmt.Fprintf(w, "%-10s %-12s %-8s %12s %10s %10s\n", "mode", "op", "threads", "ns/op", "allocs/op", "Mops/s")
+	for _, res := range r.Results {
+		fmt.Fprintf(w, "%-10s %-12s %-8d %12.1f %10.2f %10.3f\n",
+			res.Mode, res.Op, res.Threads, res.NsPerOp, res.AllocsPerOp, res.MOPS)
+	}
+	for _, t := range sortedKeys(r.SpeedupPut) {
+		fmt.Fprintf(w, "speedup %s: Put %.2fx\n", t, r.SpeedupPut[t])
+	}
+	for _, mode := range []string{"legacy", "striped"} {
+		fmt.Fprintf(w, "batch amortisation %s: %.2fx\n", mode, r.BatchAmortisation[mode])
+	}
+}

@@ -1,0 +1,106 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"github.com/casl-sdsu/hart/internal/core"
+)
+
+// TestRunWritePathSmoke runs the full write-path comparison at toy scale
+// and checks the report's shape: every mode × op × thread cell present,
+// the speedup and amortisation maps filled, and the JSON round-trippable.
+func TestRunWritePathSmoke(t *testing.T) {
+	c := Config{Records: 2048, PathThreads: []int{2}}.WithDefaults()
+	c.Out = nil
+	rep, err := RunWritePath(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Records != 2048 || rep.BatchSize != WritePathBatchSize {
+		t.Fatalf("header wrong: %+v", rep)
+	}
+	// 2 modes × 1 thread count × (Put, Mixed50/50, PutSeq, PutBatch64).
+	if len(rep.Results) != 8 {
+		t.Fatalf("results = %d, want 8", len(rep.Results))
+	}
+	cells := map[string]bool{}
+	for _, r := range rep.Results {
+		if r.NsPerOp <= 0 || r.MOPS <= 0 {
+			t.Fatalf("non-positive cell: %+v", r)
+		}
+		cells[r.Mode+"/"+r.Op] = true
+	}
+	for _, mode := range []string{"legacy", "striped"} {
+		for _, op := range []string{"Put", "Mixed50/50", "PutSeq", "PutBatch64"} {
+			if !cells[mode+"/"+op] {
+				t.Fatalf("missing cell %s/%s", mode, op)
+			}
+		}
+	}
+	if rep.SpeedupPut["t2"] <= 0 {
+		t.Fatalf("speedup_put missing: %v", rep.SpeedupPut)
+	}
+	if rep.BatchAmortisation["legacy"] <= 0 || rep.BatchAmortisation["striped"] <= 0 {
+		t.Fatalf("batch_amortisation missing: %v", rep.BatchAmortisation)
+	}
+
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back WritePathReport
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Results) != len(rep.Results) {
+		t.Fatal("JSON round trip lost results")
+	}
+
+	var tbl bytes.Buffer
+	rep.FprintTable(&tbl)
+	for _, want := range []string{"striped", "legacy", "PutBatch64", "speedup t2", "batch amortisation"} {
+		if !strings.Contains(tbl.String(), want) {
+			t.Fatalf("table missing %q:\n%s", want, tbl.String())
+		}
+	}
+}
+
+// TestWritePathZeroAlloc pins the steady-state claims the checked-in
+// BENCH_writepath.json makes: on a preloaded index, GetInto with a
+// caller buffer is allocation-free and a logged-update Put stays
+// allocation-free too (its value slot comes from the PM allocator and its
+// micro-log from the preallocated pool).
+func TestWritePathZeroAlloc(t *testing.T) {
+	c := Config{Records: 2048}.WithDefaults()
+	c.Records = 2048
+	h, keys, err := writePathIndex(c, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+	buf := make([]byte, 0, core.MaxValueLen)
+	val := []byte("deadbeef")
+	rng := newRng(7)
+	mask := len(keys) - 1 // 2048 is a power of two
+
+	if n := testing.AllocsPerRun(200, func() {
+		if _, ok := h.GetInto(keys[int(rng.next())&mask], buf); !ok {
+			t.Fatal("miss")
+		}
+	}); n != 0 {
+		t.Fatalf("GetInto allocates %.2f/op, want 0", n)
+	}
+	// Put occasionally grows allocator-side chunk metadata; average far
+	// below one allocation per op is the regression bound (the seed path
+	// cost 8 allocs on every call).
+	if n := testing.AllocsPerRun(200, func() {
+		if err := h.Put(keys[int(rng.next())&mask], val); err != nil {
+			t.Fatal(err)
+		}
+	}); n > 0.05 {
+		t.Fatalf("Put allocates %.2f/op, want ~0", n)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"sort"
 
+	"github.com/casl-sdsu/hart/internal/epalloc"
 	"github.com/casl-sdsu/hart/internal/pmem"
 )
 
@@ -17,10 +18,17 @@ type Record struct {
 }
 
 // PutBatch inserts or updates many records, amortising the per-operation
-// locking: records are sorted and grouped by hash key so each ART's
-// write lock is taken once per group instead of once per record. Within
-// a group the per-record persistence protocol is identical to Put, so
-// crash atomicity remains per record.
+// costs that Put pays once per key: records are sorted and grouped by
+// hash key, each group takes its ART's write lock once, allocates all its
+// PM slots in batched stripe-lock acquisitions, persists values and
+// leaves as contiguous runs, commits allocation bits through coalesced
+// header writes, and republishes the shard's copy-on-write tree exactly
+// once. Crash atomicity remains per record: a crash exposes a sorted
+// prefix of the batch, the same guarantee the per-key path gives.
+//
+// In Options.LegacyWritePath mode the pre-batching behaviour is kept
+// verbatim (per-record protocol, one republication per key) as the
+// measurable baseline.
 //
 // The first error aborts the remainder; the count of applied records is
 // returned with it.
@@ -32,7 +40,9 @@ func (h *HART) PutBatch(records []Record) (int, error) {
 	}
 	sorted := make([]Record, len(records))
 	copy(sorted, records)
-	sort.Slice(sorted, func(i, j int) bool {
+	// Stable, so duplicate keys apply in submission order and the batch
+	// nets out to the last submitted value, like sequential Puts.
+	sort.SliceStable(sorted, func(i, j int) bool {
 		return bytes.Compare(sorted[i].Key, sorted[j].Key) < 0
 	})
 
@@ -51,26 +61,283 @@ func (h *HART) PutBatch(records []Record) (int, error) {
 		}
 		s := h.lockShardW(hashKey, true)
 		s.beginWrite()
-		for _, r := range sorted[i:j] {
-			_, artKey := h.splitKey(r.Key)
-			var err error
-			if leafW, found := s.tree.Load().Get(artKey); found {
-				err = h.update(pmem.Ptr(leafW), r.Value)
-			} else {
-				err = h.insertNew(s, artKey, r.Key, r.Value)
-			}
-			if err != nil {
-				s.endWrite()
-				s.mu.Unlock()
-				return done, err
-			}
-			done++
+		var n int
+		var err error
+		switch {
+		case h.opts.LegacyWritePath:
+			n, err = h.putGroupSeq(s, sorted[i:j], 0)
+		case j-i == 1:
+			// A group of one has nothing to amortise; the per-record
+			// protocol skips putGroup's batch bookkeeping.
+			n, err = h.putGroupSeq(s, sorted[i:j], h.stripeOf(hashKey))
+		default:
+			n, err = h.putGroup(s, hashKey, sorted[i:j])
 		}
 		s.endWrite()
 		s.mu.Unlock()
+		done += n
+		if err != nil {
+			return done, err
+		}
 		i = j
 	}
 	return done, nil
+}
+
+// putGroupSeq applies one group with the per-record protocol and one
+// tree republication per key, allocating on the given stripe. With
+// stripe 0 it is the pre-batching write path verbatim, kept as the
+// LegacyWritePath baseline; the striped path uses it for single-record
+// groups, which have nothing to amortise. Caller holds the shard write
+// lock and an open seqlock section.
+func (h *HART) putGroupSeq(s *artShard, recs []Record, stripe int) (int, error) {
+	done := 0
+	for _, r := range recs {
+		_, artKey := h.splitKey(r.Key)
+		var err error
+		if leafW, found := s.tree.Load().Get(artKey); found {
+			err = h.update(pmem.Ptr(leafW), r.Value, stripe)
+		} else {
+			err = h.insertNew(s, artKey, r.Key, r.Value, stripe)
+		}
+		if err != nil {
+			return done, err
+		}
+		done++
+	}
+	return done, nil
+}
+
+// putGroup applies one hash-key group of sorted records with the batched
+// protocol. Caller holds the shard write lock and an open seqlock
+// section. The phases:
+//
+//  1. Classify each record as insert or update against the published
+//     tree. Duplicates are adjacent after sorting, so only the first
+//     occurrence of an absent key is an insert; later occurrences update
+//     the leaf their predecessor settles.
+//  2. Allocate every insert's leaf with one AllocBatch and its value
+//     object with one AllocBatch per class, all on the shard's stripe.
+//  3. Write all values, persisting contiguous slot runs in single calls.
+//  4. Commit all value bits with one SetBits (one header persist per
+//     chunk run). From here until a record's leaf bit commits, its value
+//     is an orphan — committed but referenced by nothing durable — which
+//     the recovery orphan sweep reclaims, so the early commit trades a
+//     bounded post-crash sweep for per-record pValue/bit ordering.
+//  5. Write all leaf fields (pValue word, key, keyLen) and persist
+//     contiguous leaf runs. The fields need no internal ordering: the
+//     leaf stays dead until its bit commits.
+//  6. Walk the records in sorted order. Inserts go into one art.Batch —
+//     which clones each tree node at most once, however many keys land
+//     under it — and queue their leaf bits. Updates first flush the
+//     queued bits (SetBits commits in argument order, so a crash exposes
+//     a sorted prefix of the group), then run the per-record Algorithm 3
+//     protocol, whose pointer swing is its own commit point.
+//  7. Flush the remaining leaf bits and publish the batch's tree once.
+//
+// On error the committed prefix stays applied; everything beyond it is
+// unwound (uncommitted inserts deleted from the published tree, their
+// values released, their leaves scrubbed and aborted) and the prefix
+// length is returned with the error.
+func (h *HART) putGroup(s *artShard, hashKey []byte, recs []Record) (int, error) {
+	stripe := h.stripeOf(hashKey)
+	base := s.tree.Load()
+
+	// Phase 1: classify.
+	artKeys := make([][]byte, len(recs))
+	isInsert := make([]bool, len(recs))
+	nIns := 0
+	for i, r := range recs {
+		_, artKeys[i] = h.splitKey(r.Key)
+		if i > 0 && bytes.Equal(r.Key, recs[i-1].Key) {
+			continue // duplicate: updates whatever the predecessor settled
+		}
+		if _, found := base.Get(artKeys[i]); !found {
+			isInsert[i] = true
+			nIns++
+		}
+	}
+
+	// Phase 2: allocate. leafOf/valOf are indexed by record (Nil for
+	// updates); classPtrs keeps each class's slots in allocation order,
+	// which is the contiguous-run order for persisting and committing.
+	leafOf := make([]pmem.Ptr, len(recs))
+	valOf := make([]pmem.Ptr, len(recs))
+	var leaves []pmem.Ptr
+	if nIns > 0 {
+		var err error
+		leaves, err = h.alloc.AllocBatch(classLeaf, stripe, nIns)
+		if err != nil {
+			return 0, err
+		}
+	}
+	abortAll := func() {
+		for _, p := range valOf {
+			if !p.IsNil() {
+				_ = h.alloc.Abort(p)
+			}
+		}
+		for _, l := range leaves {
+			_ = h.alloc.Abort(l)
+		}
+	}
+	byClass := make([][]int, int(classValue0)+len(h.opts.ValueClasses))
+	k := 0
+	for i := range recs {
+		if !isInsert[i] {
+			continue
+		}
+		leafOf[i] = leaves[k]
+		k++
+		c := h.valueClass(len(recs[i].Value))
+		byClass[c] = append(byClass[c], i)
+	}
+	classPtrs := make([][]pmem.Ptr, len(byClass))
+	for c, idxs := range byClass {
+		if len(idxs) == 0 {
+			continue
+		}
+		ptrs, err := h.alloc.AllocBatch(epalloc.Class(c), stripe, len(idxs))
+		if err != nil {
+			abortAll()
+			return 0, err
+		}
+		classPtrs[c] = ptrs
+		for n, idx := range idxs {
+			valOf[idx] = ptrs[n]
+		}
+	}
+
+	// Phase 3: write values, persist runs.
+	h.arena.SetPersistSite("batch.value")
+	for i := range recs {
+		if isInsert[i] {
+			h.arena.WriteWords(valOf[i], recs[i].Value)
+		}
+	}
+	for c, ptrs := range classPtrs {
+		if len(ptrs) > 0 {
+			h.persistRuns(ptrs, h.opts.ValueClasses[c-int(classValue0)])
+		}
+	}
+
+	// Phase 4: commit value bits.
+	h.arena.SetPersistSite("batch.value-bits")
+	var valBits []pmem.Ptr
+	for _, ptrs := range classPtrs {
+		valBits = append(valBits, ptrs...)
+	}
+	if n, err := h.alloc.SetBits(valBits); err != nil {
+		for m, p := range valBits {
+			if m < n {
+				_ = h.alloc.Release(p) // committed: undo durably
+			} else {
+				_ = h.alloc.Abort(p)
+			}
+		}
+		for _, l := range leaves {
+			_ = h.alloc.Abort(l)
+		}
+		return 0, err
+	}
+
+	// Phase 5: write leaf fields, persist runs.
+	h.arena.SetPersistSite("batch.leaf-fields")
+	for i := range recs {
+		if !isInsert[i] {
+			continue
+		}
+		leaf := leafOf[i]
+		h.arena.Write8(leaf+lfPValue, packValue(valOf[i], len(recs[i].Value)))
+		h.arena.WriteAt(leaf+lfKey, recs[i].Key)
+		h.arena.Write1(leaf+lfKeyLen, byte(len(recs[i].Key)))
+	}
+	h.persistRuns(leaves, leafSize)
+
+	// Phases 6-7: ordered commit walk, single publication.
+	b := base.BeginBatch()
+	// unwind finishes a failed walk: records [0, committedTo) are durably
+	// applied and stay; inserts in [committedTo, applied) are in b but
+	// uncommitted and must leave the published tree; every uncommitted
+	// insert's slots unwind like insertNew's leaf-bit failure path.
+	unwind := func(committedTo, applied int, cause error) (int, error) {
+		t := b.Commit()
+		for i := committedTo; i < applied; i++ {
+			if isInsert[i] {
+				t, _, _ = t.CowDelete(artKeys[i])
+			}
+		}
+		for i := committedTo; i < len(recs); i++ {
+			if !isInsert[i] {
+				continue
+			}
+			_ = h.alloc.Release(valOf[i])
+			h.arena.Write8(leafOf[i]+lfPValue, 0)
+			h.arena.Persist(leafOf[i]+lfPValue, 8)
+			_ = h.alloc.Abort(leafOf[i])
+		}
+		s.tree.Store(t)
+		nc := 0
+		for i := 0; i < committedTo; i++ {
+			if isInsert[i] {
+				nc++
+			}
+		}
+		h.size.Add(int64(nc))
+		return committedTo, cause
+	}
+
+	pending := make([]pmem.Ptr, 0, nIns)
+	flushBase := 0 // record index of pending[0]; [flushBase, walk) are all inserts
+	for i := range recs {
+		if isInsert[i] {
+			b.Insert(artKeys[i], uint64(leafOf[i]))
+			pending = append(pending, leafOf[i])
+			continue
+		}
+		// Updates commit at their pointer swing, so all earlier inserts
+		// must commit first to keep crash states a sorted prefix.
+		if len(pending) > 0 {
+			h.arena.SetPersistSite("batch.leaf-bits")
+			n, err := h.alloc.SetBits(pending)
+			if err != nil {
+				return unwind(flushBase+n, i, err)
+			}
+			pending = pending[:0]
+		}
+		flushBase = i
+		leafW, _ := b.Get(artKeys[i]) // present: classified as update
+		if err := h.update(pmem.Ptr(leafW), recs[i].Value, stripe); err != nil {
+			return unwind(i, i, err)
+		}
+		flushBase = i + 1
+	}
+	if len(pending) > 0 {
+		h.arena.SetPersistSite("batch.leaf-bits")
+		n, err := h.alloc.SetBits(pending)
+		if err != nil {
+			return unwind(flushBase+n, len(recs), err)
+		}
+	}
+	s.tree.Store(b.Commit())
+	h.size.Add(int64(nIns))
+	return len(recs), nil
+}
+
+// persistRuns persists a sequence of equally-sized objects, merging
+// adjacent slots into single Persist calls. AllocBatch returns each
+// chunk's slots adjacently in ascending order, so a batch's objects
+// typically collapse into one flush per chunk — the coalesced barrier
+// the batched write path exists for.
+func (h *HART) persistRuns(ptrs []pmem.Ptr, size int64) {
+	for i := 0; i < len(ptrs); {
+		j := i + 1
+		for j < len(ptrs) && ptrs[j] == ptrs[j-1]+pmem.Ptr(size) {
+			j++
+		}
+		h.arena.Persist(ptrs[i], int(size)*(j-i))
+		i = j
+	}
 }
 
 // DeleteBatch removes many keys in sorted order (for directory locality).

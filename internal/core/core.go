@@ -139,6 +139,13 @@ type Options struct {
 	// measurable "before" baseline for the read-path benchmarks
 	// (BENCH_readpath.json); leave it unset otherwise.
 	LockedReads bool
+	// LegacyWritePath disables the scalable write path and restores the
+	// pre-striping behaviour: every writer allocates from EPallocator
+	// stripe 0, claims micro-log slots through the mutex-serialised pool,
+	// and PutBatch republishes the shard's tree once per record. It
+	// exists as the measurable "before" baseline for the write-path
+	// benchmarks (BENCH_writepath.json); leave it unset otherwise.
+	LegacyWritePath bool
 }
 
 // withDefaults fills unset fields.
@@ -329,6 +336,32 @@ func (h *HART) Len() int { return int(h.size.Load()) }
 func (h *HART) Close() error {
 	h.closed.Store(true)
 	return nil
+}
+
+// stripeOf maps a hash key to its EPallocator stripe, giving every
+// writer of one shard the same allocation and micro-log affinity while
+// spreading distinct shards across the allocator's striped locks. The
+// mapping hashes the hash key — never anything execution-dependent like
+// a goroutine identity — so a replayed history allocates from identical
+// stripes and produces an identical persist sequence (the determinism
+// the crash-consistency checker depends on). In LegacyWritePath mode
+// every writer lands on stripe 0, reproducing the single-lock contention
+// of the pre-striping allocator.
+func (h *HART) stripeOf(hashKey []byte) int {
+	if h.opts.LegacyWritePath {
+		return 0
+	}
+	return int(fnv32(hashKey)) % epalloc.NumStripes
+}
+
+// getULog claims a micro-log slot for a writer with the given stripe
+// affinity: the lock-free striped claim by default, the mutex-serialised
+// global pool in LegacyWritePath mode.
+func (h *HART) getULog(stripe int) *epalloc.ULog {
+	if h.opts.LegacyWritePath {
+		return h.alloc.GetUpdateLog()
+	}
+	return h.alloc.GetUpdateLogStriped(stripe)
 }
 
 // splitKey divides a key into its hash key and ART key (Algorithm 1

@@ -19,24 +19,26 @@ func (h *HART) Put(key, value []byte) error {
 		return err
 	}
 	hashKey, artKey := h.splitKey(key)
+	stripe := h.stripeOf(hashKey)
 	s := h.lockShardW(hashKey, true) // lines 2-5: HashFind / NewART / HashInsert
 	defer s.mu.Unlock()
 	s.beginWrite()
 	defer s.endWrite()
 
 	if leafW, found := s.tree.Load().Get(artKey); found { // line 6: SearchNode
-		return h.update(pmem.Ptr(leafW), value) // lines 7-8
+		return h.update(pmem.Ptr(leafW), value, stripe) // lines 7-8
 	}
-	return h.insertNew(s, artKey, key, value) // lines 9-18
+	return h.insertNew(s, artKey, key, value, stripe) // lines 9-18
 }
 
-// insertNew performs Algorithm 1 lines 9-18 under the shard write lock.
-func (h *HART) insertNew(s *artShard, artKey, key, value []byte) error {
-	leaf, err := h.alloc.Alloc(classLeaf) // line 10 (OnReuse repair may run)
+// insertNew performs Algorithm 1 lines 9-18 under the shard write lock,
+// allocating from the shard's allocator stripe.
+func (h *HART) insertNew(s *artShard, artKey, key, value []byte, stripe int) error {
+	leaf, err := h.alloc.AllocStripe(classLeaf, stripe) // line 10 (OnReuse repair may run)
 	if err != nil {
 		return err
 	}
-	val, err := h.alloc.Alloc(h.valueClass(len(value))) // line 11
+	val, err := h.alloc.AllocStripe(h.valueClass(len(value)), stripe) // line 11
 	if err != nil {
 		h.alloc.Abort(leaf)
 		return err
@@ -108,18 +110,18 @@ func (h *HART) insertNew(s *artShard, artKey, key, value []byte) error {
 // update performs an out-of-place value update under the shard write
 // lock: Algorithm 3's logged protocol by default, or the paper's measured
 // unlogged pointer swing when Options.UnloggedUpdates is set.
-func (h *HART) update(leaf pmem.Ptr, value []byte) error {
+func (h *HART) update(leaf pmem.Ptr, value []byte, stripe int) error {
 	if h.opts.UnloggedUpdates {
-		return h.updateUnlogged(leaf, value)
+		return h.updateUnlogged(leaf, value, stripe)
 	}
-	ulog := h.alloc.GetUpdateLog() // line 1
+	ulog := h.getULog(stripe) // line 1
 
 	oldW := h.arena.Read8(leaf + lfPValue)
 	oldV, _ := unpackValue(oldW)
 	h.arena.SetPersistSite("update.arm")
 	ulog.Arm(leaf, oldV) // lines 2-3, merged into one persist
 
-	newV, err := h.alloc.Alloc(h.valueClass(len(value))) // line 4
+	newV, err := h.alloc.AllocStripe(h.valueClass(len(value)), stripe) // line 4
 	if err != nil {
 		ulog.Reclaim()
 		return err
@@ -189,7 +191,7 @@ func (h *HART) Update(key, value []byte) error {
 	if !found {
 		return ErrNotFound
 	}
-	return h.update(pmem.Ptr(leafW), value)
+	return h.update(pmem.Ptr(leafW), value, h.stripeOf(hashKey))
 }
 
 // Get looks a key up (Algorithm 4) and returns a copy of its value.
@@ -199,8 +201,15 @@ func (h *HART) Update(key, value []byte) error {
 // validates the PM-side reads against the shard seqlock, retrying on
 // interference and falling back to the shard read lock after
 // optimisticAttempts tries. See DESIGN.md, "Read-path concurrency".
+//
+// The destination buffer is a constant-capacity stack allocation handed
+// to GetInto, whose dst parameter leaks only to its result: escape
+// analysis therefore heap-allocates it only when the caller lets the
+// returned value escape, making the common look-up-and-inspect pattern
+// allocation-free. Values longer than MaxValueLen (possible only with a
+// custom ValueClasses table) fall back to GetInto's internal growth.
 func (h *HART) Get(key []byte) ([]byte, bool) {
-	return h.GetInto(key, nil)
+	return h.GetInto(key, make([]byte, 0, MaxValueLen))
 }
 
 // GetInto is Get with a caller-supplied destination buffer: the value is
@@ -439,11 +448,11 @@ func (h *HART) GetLeaf(key []byte) (pmem.Ptr, bool) {
 // atomically, release the old object. Four persists instead of
 // Algorithm 3's seven; crash exposure is the old object in the final
 // window, reclaimed by the recovery orphan sweep.
-func (h *HART) updateUnlogged(leaf pmem.Ptr, value []byte) error {
+func (h *HART) updateUnlogged(leaf pmem.Ptr, value []byte, stripe int) error {
 	oldW := h.arena.Read8(leaf + lfPValue)
 	oldV, _ := unpackValue(oldW)
 
-	newV, err := h.alloc.Alloc(h.valueClass(len(value)))
+	newV, err := h.alloc.AllocStripe(h.valueClass(len(value)), stripe)
 	if err != nil {
 		return err
 	}

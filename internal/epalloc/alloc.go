@@ -7,55 +7,98 @@ import (
 	"github.com/casl-sdsu/hart/internal/pmem"
 )
 
-// Alloc implements EPMalloc (Algorithm 2): it returns a free object slot of
-// the class, allocating and linking a new memory chunk if no existing chunk
-// has room. The slot's persistent bit is NOT set — the caller commits the
-// object with SetBit once it is fully initialised and linked into the index
-// (Algorithm 1 line 18). Until then the slot is reserved only in volatile
-// memory, so a crash makes it allocatable again, which is exactly the
-// leak-prevention property of Section III.A.6.
+// Alloc implements EPMalloc (Algorithm 2) on stripe 0. Callers with a
+// stripe affinity (HART's write path maps each shard to a stripe) should
+// use AllocStripe so writers to different shards do not share a lock.
+func (a *Allocator) Alloc(c Class) (pmem.Ptr, error) {
+	return a.AllocStripe(c, 0)
+}
+
+// AllocStripe returns a free object slot of the class from the given
+// stripe, allocating (or stealing from a sibling stripe) a new memory
+// chunk if no chunk of the stripe has room. The slot's persistent bit is
+// NOT set — the caller commits the object with SetBit once it is fully
+// initialised and linked into the index (Algorithm 1 line 18). Until then
+// the slot is reserved only in volatile memory, so a crash makes it
+// allocatable again, which is exactly the leak-prevention property of
+// Section III.A.6.
 //
 // If the class has an OnReuse hook it runs on the returned slot before
-// Alloc returns, mirroring Algorithm 2 lines 12-16 (reclaiming a value
-// object left behind by an incomplete insertion or deletion).
-func (a *Allocator) Alloc(c Class) (pmem.Ptr, error) {
+// AllocStripe returns, mirroring Algorithm 2 lines 12-16 (reclaiming a
+// value object left behind by an incomplete insertion or deletion).
+func (a *Allocator) AllocStripe(c Class, stripe int) (pmem.Ptr, error) {
 	if a.failAlloc.tripped() {
 		return pmem.Nil, ErrInjected
 	}
+	stripe &= NumStripes - 1
 	cs := &a.classes[c]
-	cs.mu.Lock()
-	defer cs.mu.Unlock()
-
-	// Walk chunks believed to have free slots (Algorithm 2 lines 1-7; the
-	// avail queue plays the role of the list walk without rescanning
-	// known-full chunks).
-	for len(cs.avail) > 0 {
-		chunk := cs.avail[len(cs.avail)-1]
-		meta := cs.meta[chunk]
-		if obj, ok := a.takeSlot(c, chunk, meta); ok {
+	ss := &cs.stripes[stripe]
+	for {
+		ss.mu.Lock()
+		if obj, ok := a.takeFromStripe(c, ss); ok {
 			a.runOnReuse(cs, obj)
+			ss.mu.Unlock()
 			return obj, nil
 		}
-		meta.inAvail = false
-		cs.avail = cs.avail[:len(cs.avail)-1]
+		ss.mu.Unlock()
+		// No chunk of the stripe has a free slot: obtain one (free-list
+		// reuse, cross-stripe steal, or fresh reservation) and retry.
+		if _, err := a.allocChunk(c, stripe); err != nil {
+			return pmem.Nil, err
+		}
 	}
+}
 
-	// No chunk with a free slot: allocate a new chunk and link it at the
-	// head of the class's chunk list (Algorithm 2 lines 8-11).
-	chunk, err := a.allocChunk(c)
-	if err != nil {
-		return pmem.Nil, err
+// AllocBatch returns n free slots of the class from the stripe, draining
+// as many as possible per stripe-lock acquisition. Slots of one chunk are
+// returned adjacently in ascending slot order, so a caller committing them
+// in result order via SetBits pays one header persist per chunk run. On
+// error no slot stays in flight (partial allocations are aborted).
+func (a *Allocator) AllocBatch(c Class, stripe, n int) ([]pmem.Ptr, error) {
+	if a.failAlloc.tripped() {
+		return nil, ErrInjected
 	}
-	meta := &chunkMeta{inAvail: true}
-	cs.meta[chunk] = meta
-	cs.avail = append(cs.avail, chunk)
-	cs.nchunks++
-	obj, ok := a.takeSlot(c, chunk, meta)
-	if !ok {
-		return pmem.Nil, fmt.Errorf("%w: fresh chunk %d has no free slot", ErrCorrupt, chunk)
+	stripe &= NumStripes - 1
+	cs := &a.classes[c]
+	ss := &cs.stripes[stripe]
+	objs := make([]pmem.Ptr, 0, n)
+	for len(objs) < n {
+		ss.mu.Lock()
+		for len(objs) < n {
+			obj, ok := a.takeFromStripe(c, ss)
+			if !ok {
+				break
+			}
+			a.runOnReuse(cs, obj)
+			objs = append(objs, obj)
+		}
+		ss.mu.Unlock()
+		if len(objs) == n {
+			break
+		}
+		if _, err := a.allocChunk(c, stripe); err != nil {
+			for _, obj := range objs {
+				_ = a.Abort(obj)
+			}
+			return nil, err
+		}
 	}
-	a.runOnReuse(cs, obj)
-	return obj, nil
+	return objs, nil
+}
+
+// takeFromStripe claims one free slot from the stripe's avail queue.
+// Caller holds the stripe lock.
+func (a *Allocator) takeFromStripe(c Class, ss *stripeState) (pmem.Ptr, bool) {
+	for len(ss.avail) > 0 {
+		chunk := ss.avail[len(ss.avail)-1]
+		meta := ss.meta[chunk]
+		if obj, ok := a.takeSlot(c, chunk, meta); ok {
+			return obj, true
+		}
+		meta.inAvail = false
+		ss.avail = ss.avail[:len(ss.avail)-1]
+	}
+	return pmem.Nil, false
 }
 
 // runOnReuse invokes the class's reuse hook.
@@ -82,63 +125,133 @@ func (a *Allocator) takeSlot(c Class, chunk pmem.Ptr, meta *chunkMeta) (pmem.Ptr
 	return a.SlotAddr(chunk, c, idx), true
 }
 
-// allocChunk obtains a chunk for the class, reusing a recycled chunk from
-// the free list when possible, and links it at the head of the class's
-// chunk list. The whole transition runs under the chunk-transfer micro-log
-// so a crash at any persist boundary neither leaks the chunk nor corrupts
-// either list (see recoverLogs).
-func (a *Allocator) allocChunk(c Class) (pmem.Ptr, error) {
-	ar := a.arena
+// allocChunk obtains a chunk for the stripe: a recycled chunk from the
+// stripe's own free list, else one stolen from a sibling stripe's free
+// list (the cross-stripe rebalance; the only path taking two stripe locks,
+// always in ascending index order), else a fresh arena reservation under
+// chunkMu. The whole transition runs under the destination stripe's
+// chunk-transfer micro-log so a crash at any persist boundary neither
+// leaks the chunk nor corrupts any list (see recoverLogs).
+func (a *Allocator) allocChunk(c Class, dst int) (pmem.Ptr, error) {
+	cs := &a.classes[c]
+	dstSS := &cs.stripes[dst]
+
+	// Own free list first.
+	dstSS.mu.Lock()
+	if !a.freeHead(c, dst).IsNil() {
+		defer dstSS.mu.Unlock()
+		return a.transferLocked(c, dst, dst, false)
+	}
+	dstSS.mu.Unlock()
+
+	// Steal from a sibling stripe. The unlocked freeHead peek is an atomic
+	// word read and merely a hint; ownership is re-checked under both
+	// locks.
+	for off := 1; off < NumStripes; off++ {
+		src := (dst + off) & (NumStripes - 1)
+		if a.freeHead(c, src).IsNil() {
+			continue
+		}
+		lo, hi := &cs.stripes[min(src, dst)], &cs.stripes[max(src, dst)]
+		lo.mu.Lock()
+		hi.mu.Lock()
+		if a.freeHead(c, src).IsNil() {
+			hi.mu.Unlock()
+			lo.mu.Unlock()
+			continue
+		}
+		chunk, err := a.transferLocked(c, src, dst, false)
+		hi.mu.Unlock()
+		lo.mu.Unlock()
+		return chunk, err
+	}
+
+	// Whole class dry: reserve fresh arena space. chunkMu serialises
+	// reservations so the transfer log's address prediction is exact.
+	dstSS.mu.Lock()
+	defer dstSS.mu.Unlock()
 	a.chunkMu.Lock()
 	defer a.chunkMu.Unlock()
+	return a.transferLocked(c, tlSrcFresh, dst, true)
+}
 
-	size := chunkSize(a.classes[c].spec.ObjSize)
-	chunk := a.freeHead(c)
-	fresh := chunk.IsNil()
+// transferLocked moves one chunk onto the destination stripe's chunk list
+// under the destination's transfer log: a free-list pop from stripe src
+// (src may equal dst), or a fresh arena reservation when fresh is set.
+// Caller holds dst's stripe lock, src's stripe lock when src != dst, and
+// chunkMu when fresh.
+func (a *Allocator) transferLocked(c Class, src, dst int, fresh bool) (pmem.Ptr, error) {
+	ar := a.arena
+	var chunk pmem.Ptr
 	if fresh {
 		// Predict the reservation address so the transfer log can be armed
 		// *before* the bump cursor durably advances; a crash between the
 		// two then cannot leak the chunk. chunkMu serialises reservations,
 		// so the prediction is exact.
-		chunk = pmem.Ptr((a.arena.Reserved() + 7) &^ 7)
+		chunk = pmem.Ptr((ar.Reserved() + 7) &^ 7)
+	} else {
+		chunk = a.freeHead(c, src)
 	}
 
-	// Arm the transfer log: "chunk is moving onto class c's chunk list".
-	// Class first, chunk pointer last — the log is armed iff PChunk != 0.
-	ar.Write8(a.sb+sbTLogOff+8, uint64(c))
-	ar.Persist(a.sb+sbTLogOff+8, 8)
-	ar.WritePtr(a.sb+sbTLogOff, chunk)
-	ar.Persist(a.sb+sbTLogOff, 8)
+	// Arm the transfer log: "chunk is moving onto class c, stripe dst's
+	// chunk list, taken from stripe src's free list (or fresh)". Class and
+	// source first, chunk pointer last — the slot is armed iff PChunk != 0.
+	t := a.tlogAddr(dst)
+	ar.Write8(t+tlClassOff, uint64(c))
+	ar.Write8(t+tlSrcOff, uint64(src))
+	ar.Persist(t+tlClassOff, 16)
+	ar.WritePtr(t+tlChunkOff, chunk)
+	ar.Persist(t+tlChunkOff, 8)
 
 	if fresh {
+		size := chunkSize(a.classes[c].spec.ObjSize)
 		got, err := ar.Reserve(size, 8)
 		if err != nil {
-			ar.WritePtr(a.sb+sbTLogOff, pmem.Nil)
-			ar.Persist(a.sb+sbTLogOff, 8)
+			ar.WritePtr(t+tlChunkOff, pmem.Nil)
+			ar.Persist(t+tlChunkOff, 8)
 			return pmem.Nil, err
 		}
 		if got != chunk {
 			return pmem.Nil, fmt.Errorf("%w: predicted chunk %d, reserved %d", ErrCorrupt, chunk, got)
 		}
 	} else {
-		// Unlink from the free list.
+		// Unlink from the source free list.
 		next := ar.ReadPtr(chunk + 8)
-		ar.WritePtr(a.freeHeadAddr(c), next)
-		ar.Persist(a.freeHeadAddr(c), 8)
+		ar.WritePtr(a.freeHeadAddr(c, src), next)
+		ar.Persist(a.freeHeadAddr(c, src), 8)
 	}
 
 	// Initialise: empty bitmap, hint 0, available; PNext = current head.
 	ar.Write8(chunk, uint64(makeHeader(0, 0, fullAvailable)))
-	ar.WritePtr(chunk+8, a.head(c))
+	ar.WritePtr(chunk+8, a.head(c, dst))
 	ar.Persist(chunk, 16)
 
-	// Link at head, then disarm the log.
-	ar.WritePtr(a.headAddr(c), chunk)
-	ar.Persist(a.headAddr(c), 8)
-	ar.WritePtr(a.sb+sbTLogOff, pmem.Nil)
-	ar.Persist(a.sb+sbTLogOff, 8)
+	// Link at the destination head, then disarm the log.
+	ar.WritePtr(a.headAddr(c, dst), chunk)
+	ar.Persist(a.headAddr(c, dst), 8)
+	ar.WritePtr(t+tlChunkOff, pmem.Nil)
+	ar.Persist(t+tlChunkOff, 8)
 
-	a.registerRange(chunk, c)
+	a.registerRange(chunk, c, dst)
+
+	// Volatile bookkeeping: the chunk now offers slots on dst.
+	cs := &a.classes[c]
+	if fresh {
+		cs.nchunks.Add(1)
+	} else if src != dst {
+		delete(cs.stripes[src].meta, chunk)
+	}
+	dstSS := &cs.stripes[dst]
+	meta := dstSS.meta[chunk]
+	if meta == nil {
+		meta = &chunkMeta{}
+		dstSS.meta[chunk] = meta
+	}
+	meta.inFlight = 0
+	if !meta.inAvail {
+		meta.inAvail = true
+		dstSS.avail = append(dstSS.avail, chunk)
+	}
 	return chunk, nil
 }
 
@@ -149,25 +262,60 @@ func (a *Allocator) SetBit(obj pmem.Ptr) error {
 	if a.failSetBit.tripped() {
 		return ErrInjected
 	}
-	r, ok := a.lookupRange(obj)
-	if !ok {
-		return ErrNotChunkObject
+	r, ss, err := a.lockStripeOf(obj)
+	if err != nil {
+		return err
 	}
+	defer ss.mu.Unlock()
 	idx, err := a.slotIndex(r, obj)
 	if err != nil {
 		return err
 	}
-	cs := &a.classes[r.class]
-	cs.mu.Lock()
-	defer cs.mu.Unlock()
-
 	h := a.readHeader(r.start)
 	bm := h.bitmap() | 1<<uint(idx)
 	a.writeHeader(r.start, packHeader(bm))
-	if meta := cs.meta[r.start]; meta != nil {
+	if meta := ss.meta[r.start]; meta != nil {
 		meta.inFlight &^= 1 << uint(idx)
 	}
 	return nil
+}
+
+// SetBits commits a batch of allocated objects, coalescing consecutive
+// objects of one chunk into a single header write and persist — the
+// batched-insert commit path. Bits are committed in argument order, run by
+// run, so a crash exposes exactly a prefix of the batch (possibly jumping
+// a whole chunk run at once, which is still a prefix). Returns the number
+// of objects durably committed, which is len(objs) iff err is nil.
+func (a *Allocator) SetBits(objs []pmem.Ptr) (int, error) {
+	if a.failSetBit.tripped() {
+		return 0, ErrInjected
+	}
+	i := 0
+	for i < len(objs) {
+		r, ss, err := a.lockStripeOf(objs[i])
+		if err != nil {
+			return i, err
+		}
+		h := a.readHeader(r.start)
+		bm := h.bitmap()
+		meta := ss.meta[r.start]
+		j := i
+		for ; j < len(objs) && objs[j] >= r.start+chunkDataOff && objs[j] < r.end; j++ {
+			idx, err := a.slotIndex(r, objs[j])
+			if err != nil {
+				ss.mu.Unlock()
+				return i, err
+			}
+			bm |= 1 << uint(idx)
+			if meta != nil {
+				meta.inFlight &^= 1 << uint(idx)
+			}
+		}
+		a.writeHeader(r.start, packHeader(bm))
+		ss.mu.Unlock()
+		i = j
+	}
+	return i, nil
 }
 
 // ResetBit durably marks the slot free (used by deletion, update reclaim
@@ -176,96 +324,91 @@ func (a *Allocator) ResetBit(obj pmem.Ptr) error {
 	if a.failResetBit.tripped() {
 		return ErrInjected
 	}
-	r, ok := a.lookupRange(obj)
-	if !ok {
-		return ErrNotChunkObject
+	r, ss, err := a.lockStripeOf(obj)
+	if err != nil {
+		return err
 	}
+	defer ss.mu.Unlock()
 	idx, err := a.slotIndex(r, obj)
 	if err != nil {
 		return err
 	}
-	cs := &a.classes[r.class]
-	cs.mu.Lock()
-	defer cs.mu.Unlock()
-	a.resetBitLocked(cs, r, idx)
+	a.resetBitLocked(ss, r, idx)
 	return nil
 }
 
-// resetBitLocked clears a slot bit with the class lock held.
-func (a *Allocator) resetBitLocked(cs *classState, r chunkRange, idx int) {
+// resetBitLocked clears a slot bit with the owning stripe's lock held.
+func (a *Allocator) resetBitLocked(ss *stripeState, r chunkRange, idx int) {
 	h := a.readHeader(r.start)
 	bm := h.bitmap() &^ (1 << uint(idx))
 	a.writeHeader(r.start, packHeader(bm))
-	meta := cs.meta[r.start]
+	meta := ss.meta[r.start]
 	if meta == nil {
 		meta = &chunkMeta{}
-		cs.meta[r.start] = meta
+		ss.meta[r.start] = meta
 	}
 	meta.inFlight &^= 1 << uint(idx)
 	if !meta.inAvail {
 		meta.inAvail = true
-		cs.avail = append(cs.avail, r.start)
+		ss.avail = append(ss.avail, r.start)
 	}
 }
 
 // Release clears the slot's persistent bit and, if that empties its
 // chunk, recycles the chunk — ResetBit plus Recycle (Algorithm 5 lines
-// 12-13 / Algorithm 3 lines 9-10) fused under one class-lock acquisition
+// 12-13 / Algorithm 3 lines 9-10) fused under one stripe-lock acquisition
 // and one header read.
 func (a *Allocator) Release(obj pmem.Ptr) error {
 	if a.failResetBit.tripped() {
 		return ErrInjected
 	}
-	r, ok := a.lookupRange(obj)
-	if !ok {
-		return ErrNotChunkObject
-	}
-	idx, err := a.slotIndex(r, obj)
+	r, ss, err := a.lockStripeOf(obj)
 	if err != nil {
 		return err
 	}
-	cs := &a.classes[r.class]
-	cs.mu.Lock()
+	idx, err := a.slotIndex(r, obj)
+	if err != nil {
+		ss.mu.Unlock()
+		return err
+	}
 	h := a.readHeader(r.start)
 	bm := h.bitmap() &^ (1 << uint(idx))
 	a.writeHeader(r.start, packHeader(bm))
-	meta := cs.meta[r.start]
+	meta := ss.meta[r.start]
 	if meta == nil {
 		meta = &chunkMeta{}
-		cs.meta[r.start] = meta
+		ss.meta[r.start] = meta
 	}
 	meta.inFlight &^= 1 << uint(idx)
 	if !meta.inAvail {
 		meta.inAvail = true
-		cs.avail = append(cs.avail, r.start)
+		ss.avail = append(ss.avail, r.start)
 	}
 	empty := bm == 0 && meta.inFlight == 0
-	cs.mu.Unlock()
+	ss.mu.Unlock()
 	if !empty {
 		return nil
 	}
-	return a.recycleChunkMode(r.class, r.start, true)
+	return a.recycleChunkMode(r.start, true)
 }
 
 // Abort releases a slot obtained from Alloc whose object will never be
 // committed (volatile only; nothing to undo on PM).
 func (a *Allocator) Abort(obj pmem.Ptr) error {
-	r, ok := a.lookupRange(obj)
-	if !ok {
-		return ErrNotChunkObject
+	r, ss, err := a.lockStripeOf(obj)
+	if err != nil {
+		return err
 	}
+	defer ss.mu.Unlock()
 	idx, err := a.slotIndex(r, obj)
 	if err != nil {
 		return err
 	}
-	cs := &a.classes[r.class]
-	cs.mu.Lock()
-	defer cs.mu.Unlock()
-	if meta := cs.meta[r.start]; meta != nil {
+	if meta := ss.meta[r.start]; meta != nil {
 		meta.inFlight &^= 1 << uint(idx)
 		if !meta.inAvail {
 			meta.inAvail = true
-			cs.avail = append(cs.avail, r.start)
+			ss.avail = append(ss.avail, r.start)
 		}
 	}
 	return nil

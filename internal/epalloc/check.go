@@ -7,21 +7,25 @@ import (
 )
 
 // IterateObjects calls fn for every slot of every chunk on the class's
-// chunk list, reporting whether the slot's persistent bit is set. This is
+// chunk lists, reporting whether the slot's persistent bit is set. This is
 // the traversal HART's recovery uses (Algorithm 7 lines 2-6). Iteration
-// order is list order (most recently linked chunk first).
+// order is stripe order, then list order within a stripe (most recently
+// linked chunk first) — deterministic for a deterministic history.
 func (a *Allocator) IterateObjects(c Class, fn func(obj pmem.Ptr, used bool) bool) error {
 	cs := &a.classes[c]
-	steps := 0
-	for chunk := a.head(c); !chunk.IsNil(); chunk = a.arena.ReadPtr(chunk + 8) {
-		if steps++; steps > cs.nchunks+1 {
-			return fmt.Errorf("%w: class %s chunk list longer than %d chunks (cycle?)",
-				ErrCorrupt, cs.spec.Name, cs.nchunks)
-		}
-		h := a.readHeader(chunk)
-		for i := 0; i < ObjectsPerChunk; i++ {
-			if !fn(a.SlotAddr(chunk, c, i), h.bitmap()&(1<<uint(i)) != 0) {
-				return nil
+	limit := int(cs.nchunks.Load()) + 1
+	for s := 0; s < NumStripes; s++ {
+		steps := 0
+		for chunk := a.head(c, s); !chunk.IsNil(); chunk = a.arena.ReadPtr(chunk + 8) {
+			if steps++; steps > limit {
+				return fmt.Errorf("%w: class %s stripe %d chunk list longer than %d chunks (cycle?)",
+					ErrCorrupt, cs.spec.Name, s, limit-1)
+			}
+			h := a.readHeader(chunk)
+			for i := 0; i < ObjectsPerChunk; i++ {
+				if !fn(a.SlotAddr(chunk, c, i), h.bitmap()&(1<<uint(i)) != 0) {
+					return nil
+				}
 			}
 		}
 	}
@@ -47,9 +51,9 @@ type ClassStats struct {
 	Name string
 	// ObjSize is the slot size in bytes.
 	ObjSize int64
-	// Chunks is the number of chunks on the chunk list.
+	// Chunks is the number of chunks on the chunk lists (all stripes).
 	Chunks int
-	// FreeChunks is the number of chunks on the free list.
+	// FreeChunks is the number of chunks on the free lists (all stripes).
 	FreeChunks int
 	// Used is the number of live objects.
 	Used int
@@ -64,12 +68,16 @@ func (a *Allocator) Stats() []ClassStats {
 		c := Class(i)
 		cs := &a.classes[i]
 		st := ClassStats{Name: cs.spec.Name, ObjSize: cs.spec.ObjSize}
-		for chunk := a.head(c); !chunk.IsNil(); chunk = a.arena.ReadPtr(chunk + 8) {
-			st.Chunks++
-			h := a.readHeader(chunk)
-			st.Used += ObjectsPerChunk - h.free()
-			if st.Chunks > cs.nchunks+1 {
-				break
+		limit := int(cs.nchunks.Load()) + 1
+		for s := 0; s < NumStripes; s++ {
+			steps := 0
+			for chunk := a.head(c, s); !chunk.IsNil(); chunk = a.arena.ReadPtr(chunk + 8) {
+				st.Chunks++
+				h := a.readHeader(chunk)
+				st.Used += ObjectsPerChunk - h.free()
+				if steps++; steps > limit {
+					break
+				}
 			}
 		}
 		st.FreeChunks = a.FreeChunks(c)
@@ -81,64 +89,92 @@ func (a *Allocator) Stats() []ClassStats {
 
 // Check is EPallocator's fsck. It validates, for every class:
 //
-//   - the chunk list and free list are acyclic and disjoint;
-//   - every chunk is a known reservation of the right class;
+//   - every stripe's chunk list and free list is acyclic, and the lists of
+//     all stripes are pairwise disjoint (no chunk reachable twice — in
+//     particular, never from two stripes);
+//   - every chunk is a known reservation of the right class, registered to
+//     the stripe whose list carries it;
+//   - the stripe lists' union covers every registered chunk of the class
+//     (no chunk has fallen off the partition);
 //   - every chunk-list header's full indicator and next-free hint agree
 //     with its bitmap;
-//   - no armed micro-log remains (a quiescent allocator has none).
+//   - no armed micro-log remains on any stripe (a quiescent allocator has
+//     none).
 //
 // It returns nil when all invariants hold.
 func (a *Allocator) Check() error {
 	for i := range a.classes {
 		c := Class(i)
 		cs := &a.classes[i]
-		seen := make(map[pmem.Ptr]int) // 1 = chunk list, 2 = free list
-		steps := 0
-		for chunk := a.head(c); !chunk.IsNil(); chunk = a.arena.ReadPtr(chunk + 8) {
-			if steps++; steps > cs.nchunks+1 {
-				return fmt.Errorf("%w: class %s chunk list cycle", ErrCorrupt, cs.spec.Name)
-			}
-			if seen[chunk] != 0 {
-				return fmt.Errorf("%w: class %s chunk %d linked twice", ErrCorrupt, cs.spec.Name, chunk)
-			}
-			seen[chunk] = 1
-			r, ok := a.lookupRange(chunk + chunkDataOff)
-			if !ok || r.start != chunk || r.class != c {
-				return fmt.Errorf("%w: class %s chunk %d not a registered reservation", ErrCorrupt, cs.spec.Name, chunk)
-			}
-			h := a.readHeader(chunk)
-			if h.bitmap() == bitmapMask {
-				if h.fullIndicator() != fullFull {
-					return fmt.Errorf("%w: class %s chunk %d full but indicator %d",
-						ErrCorrupt, cs.spec.Name, chunk, h.fullIndicator())
+		seen := make(map[pmem.Ptr]int) // stripe*2 + list (0 chunk, 1 free), +1
+		limit := int(cs.nchunks.Load()) + 1
+		for s := 0; s < NumStripes; s++ {
+			steps := 0
+			for chunk := a.head(c, s); !chunk.IsNil(); chunk = a.arena.ReadPtr(chunk + 8) {
+				if steps++; steps > limit {
+					return fmt.Errorf("%w: class %s stripe %d chunk list cycle", ErrCorrupt, cs.spec.Name, s)
 				}
-			} else {
-				if h.fullIndicator() != fullAvailable {
-					return fmt.Errorf("%w: class %s chunk %d has free slots but indicator %d",
-						ErrCorrupt, cs.spec.Name, chunk, h.fullIndicator())
+				if prev, dup := seen[chunk]; dup {
+					return fmt.Errorf("%w: class %s chunk %d reachable twice (stripe %d chunk list and stripe %d list %d)",
+						ErrCorrupt, cs.spec.Name, chunk, s, (prev-1)/2, (prev-1)%2)
 				}
-				if nf := h.nextFree(); nf < ObjectsPerChunk && h.bitmap()&(1<<uint(nf)) != 0 {
-					return fmt.Errorf("%w: class %s chunk %d next-free hint %d points at a used slot",
-						ErrCorrupt, cs.spec.Name, chunk, nf)
+				seen[chunk] = s*2 + 1
+				r, ok := a.lookupRange(chunk + chunkDataOff)
+				if !ok || r.start != chunk || r.class != c {
+					return fmt.Errorf("%w: class %s chunk %d not a registered reservation", ErrCorrupt, cs.spec.Name, chunk)
 				}
+				if r.stripe != s {
+					return fmt.Errorf("%w: class %s chunk %d on stripe %d's list but registered to stripe %d",
+						ErrCorrupt, cs.spec.Name, chunk, s, r.stripe)
+				}
+				h := a.readHeader(chunk)
+				if h.bitmap() == bitmapMask {
+					if h.fullIndicator() != fullFull {
+						return fmt.Errorf("%w: class %s chunk %d full but indicator %d",
+							ErrCorrupt, cs.spec.Name, chunk, h.fullIndicator())
+					}
+				} else {
+					if h.fullIndicator() != fullAvailable {
+						return fmt.Errorf("%w: class %s chunk %d has free slots but indicator %d",
+							ErrCorrupt, cs.spec.Name, chunk, h.fullIndicator())
+					}
+					if nf := h.nextFree(); nf < ObjectsPerChunk && h.bitmap()&(1<<uint(nf)) != 0 {
+						return fmt.Errorf("%w: class %s chunk %d next-free hint %d points at a used slot",
+							ErrCorrupt, cs.spec.Name, chunk, nf)
+					}
+				}
+			}
+			steps = 0
+			for chunk := a.freeHead(c, s); !chunk.IsNil(); chunk = a.arena.ReadPtr(chunk + 8) {
+				if steps++; steps > limit {
+					return fmt.Errorf("%w: class %s stripe %d free list cycle", ErrCorrupt, cs.spec.Name, s)
+				}
+				if prev, dup := seen[chunk]; dup {
+					return fmt.Errorf("%w: class %s chunk %d reachable twice (stripe %d free list and stripe %d list %d)",
+						ErrCorrupt, cs.spec.Name, chunk, s, (prev-1)/2, (prev-1)%2)
+				}
+				seen[chunk] = s*2 + 2
 			}
 		}
-		steps = 0
-		for chunk := a.freeHead(c); !chunk.IsNil(); chunk = a.arena.ReadPtr(chunk + 8) {
-			if steps++; steps > cs.nchunks+1 {
-				return fmt.Errorf("%w: class %s free list cycle", ErrCorrupt, cs.spec.Name)
+		// Coverage: the stripe partition must account for every registered
+		// chunk of the class — a chunk on no list is a persistent leak.
+		for _, r := range a.rangeSnapshot() {
+			if r.class != c {
+				continue
 			}
-			if seen[chunk] != 0 {
-				return fmt.Errorf("%w: class %s chunk %d on both lists", ErrCorrupt, cs.spec.Name, chunk)
+			if seen[r.start] == 0 {
+				return fmt.Errorf("%w: class %s chunk %d registered but on no stripe's lists (leaked)",
+					ErrCorrupt, cs.spec.Name, r.start)
 			}
-			seen[chunk] = 2
 		}
 	}
-	if cur := a.arena.ReadPtr(a.sb + sbRLogOff + 8); !cur.IsNil() {
-		return fmt.Errorf("%w: recycle log still armed (chunk %d)", ErrCorrupt, cur)
-	}
-	if chunk := a.arena.ReadPtr(a.sb + sbTLogOff); !chunk.IsNil() {
-		return fmt.Errorf("%w: transfer log still armed (chunk %d)", ErrCorrupt, chunk)
+	for s := 0; s < NumStripes; s++ {
+		if cur := a.arena.ReadPtr(a.rlogAddr(s) + rlCurOff); !cur.IsNil() {
+			return fmt.Errorf("%w: stripe %d recycle log still armed (chunk %d)", ErrCorrupt, s, cur)
+		}
+		if chunk := a.arena.ReadPtr(a.tlogAddr(s) + tlChunkOff); !chunk.IsNil() {
+			return fmt.Errorf("%w: stripe %d transfer log still armed (chunk %d)", ErrCorrupt, s, chunk)
+		}
 	}
 	return nil
 }
@@ -163,23 +199,27 @@ func (a *Allocator) CheckQuiescent() error {
 	}
 	for i := range a.classes {
 		cs := &a.classes[i]
-		cs.mu.Lock()
-		for chunk, meta := range cs.meta {
-			if meta.inFlight != 0 {
-				cs.mu.Unlock()
-				return fmt.Errorf("%w: class %s chunk %d has in-flight slots %#x (leaked Alloc?)",
-					ErrCorrupt, cs.spec.Name, chunk, meta.inFlight)
+		for s := range cs.stripes {
+			ss := &cs.stripes[s]
+			ss.mu.Lock()
+			for chunk, meta := range ss.meta {
+				if meta.inFlight != 0 {
+					ss.mu.Unlock()
+					return fmt.Errorf("%w: class %s stripe %d chunk %d has in-flight slots %#x (leaked Alloc?)",
+						ErrCorrupt, cs.spec.Name, s, chunk, meta.inFlight)
+				}
 			}
+			ss.mu.Unlock()
 		}
-		cs.mu.Unlock()
 	}
 	if logs := a.PendingUpdateLogs(); len(logs) != 0 {
 		return fmt.Errorf("%w: %d update log(s) still armed at quiescence (slot %d, leaf %d)",
 			ErrCorrupt, len(logs), logs[0].Index, logs[0].PLeaf)
 	}
-	a.ulogs.mu.Lock()
-	busy := a.ulogs.busy
-	a.ulogs.mu.Unlock()
+	var busy uint64
+	for s := 0; s < NumStripes; s++ {
+		busy |= a.ulogs.busy[s].Load() << uint(s*ulogsPerStripe)
+	}
 	if busy != 0 {
 		return fmt.Errorf("%w: update-log slots %#x busy at quiescence (missing Reclaim?)", ErrCorrupt, busy)
 	}

@@ -12,14 +12,30 @@
 //	+8  PNext (8 B): persistent pointer to the next chunk of the class
 //	+16 56 object slots
 //
-// Chunks of one object class form a singly linked persistent list, so one
+// Chunks of one object class form singly linked persistent lists, so one
 // persistent next pointer amortises over 56 objects instead of one per
 // leaf (the paper's argument against per-leaf next pointers). The bitmap
 // is the durable record of which objects are live: an object allocated but
 // whose bit was never set simply reads as free after a crash, which is how
 // EPallocator prevents persistent memory leaks. Freed chunks are unlinked
-// under a persistent recycle micro-log and pushed onto a per-class free
-// list for reuse.
+// under a persistent recycle micro-log and pushed onto a free list for
+// reuse.
+//
+// # Striping
+//
+// Each class's chunks are partitioned across NumStripes stripes, each with
+// its own persistent chunk list, persistent free-chunk list, volatile slot
+// cache and mutex, so writers mapped to different stripes allocate and
+// free with no shared lock at all. The recycle and chunk-transfer
+// micro-logs are striped the same way (one slot per stripe, owned by the
+// stripe's lock holder). A stripe that runs dry first steals a recycled
+// chunk from a sibling stripe's free list — taking exactly the two stripe
+// locks in index order — and only reserves fresh arena space, under the
+// global chunkMu that keeps the transfer log's address prediction exact,
+// when the whole class is dry. Recovery replays every stripe's logs and
+// rebuilds every stripe's lists, so fsck still sees each chunk exactly
+// once (Check verifies the partition is disjoint and covers all
+// registered chunks).
 //
 // The commit protocol is split between allocator and caller exactly as in
 // Algorithm 1: Alloc hands out a slot *without* setting its bit (marking it
@@ -44,30 +60,61 @@ const ObjectsPerChunk = 56
 // MaxClasses bounds the number of object classes one allocator serves.
 const MaxClasses = 16
 
+// NumStripes is the number of allocation stripes per class. Must be a
+// power of two and divide NumUpdateLogs.
+const NumStripes = 8
+
 // chunkDataOff is the byte offset of slot 0 within a chunk.
 const chunkDataOff = 16
 
-// Superblock layout (relative to the allocator's superblock base, which is
-// always the first reservation of the arena, i.e. offset pmem.HeaderSize).
+// Superblock layout v2 (relative to the allocator's superblock base, which
+// is always the first reservation of the arena, i.e. offset
+// pmem.HeaderSize). v2 widens the class table to per-stripe list heads and
+// stripes the recycle and transfer logs; v1 images are rejected by magic.
 const (
-	sbMagicOff      = 0   // 8B magic
-	sbNumClassesOff = 8   // 8B class count
-	sbClassTableOff = 24  // MaxClasses × 24B entries, ends at 408
-	sbRLogOff       = 408 // recycle log: PPrev, PCurrent, class (3×8B)
-	sbTLogOff       = 432 // chunk-transfer log: PChunk, class (2×8B)
-	sbULogPoolOff   = 512 // NumUpdateLogs × 24B update logs
+	sbMagicOff      = 0  // 8B magic
+	sbNumClassesOff = 8  // 8B class count
+	sbNumStripesOff = 16 // 8B stripe count (layout check on Attach)
+	sbClassTableOff = 24 // MaxClasses × ceSize entries
+	sbRLogOff       = sbClassTableOff + MaxClasses*ceSize // NumStripes recycle slots
+	sbTLogOff       = sbRLogOff + NumStripes*rlogSlotSize // NumStripes transfer slots
+	sbULogPoolOff   = sbTLogOff + NumStripes*tlogSlotSize // NumUpdateLogs × 24B update logs
 	sbSize          = sbULogPoolOff + NumUpdateLogs*ulogSlotSize
 )
 
-// Per-class table entry layout.
+// Per-class table entry layout: the object size followed by one chunk-list
+// head and one free-list head per stripe.
 const (
-	ceObjSizeOff  = 0  // 8B object size
-	ceHeadOff     = 8  // 8B head of chunk list
-	ceFreeHeadOff = 16 // 8B head of free-chunk list
-	ceSize        = 24
+	ceObjSizeOff   = 0
+	ceHeadsOff     = 8
+	ceFreeHeadsOff = ceHeadsOff + NumStripes*8
+	ceSize         = ceFreeHeadsOff + NumStripes*8
 )
 
-const epMagic = 0x4841525445504131 // "HARTEPA1"
+// Per-stripe recycle-log slot: PPrev (address of the link field pointing
+// at the chunk), PCurrent (the chunk; arms the slot), class.
+const (
+	rlPrevOff    = 0
+	rlCurOff     = 8
+	rlClassOff   = 16
+	rlogSlotSize = 24
+)
+
+// Per-stripe chunk-transfer-log slot: PChunk (the chunk joining the
+// stripe's list; arms the slot), class, source stripe. The slot index is
+// the destination stripe; src == tlSrcFresh marks a fresh arena
+// reservation rather than a free-list pop.
+const (
+	tlChunkOff   = 0
+	tlClassOff   = 8
+	tlSrcOff     = 16
+	tlogSlotSize = 24
+)
+
+// tlSrcFresh is the transfer-log source sentinel for fresh reservations.
+const tlSrcFresh = NumStripes
+
+const epMagic = 0x4841525445504132 // "HARTEPA2"
 
 // Header-byte-7 encodings.
 const (
@@ -96,37 +143,47 @@ type ClassSpec struct {
 	Name string
 	// ObjSize is the slot size in bytes; must be a positive multiple of 8.
 	ObjSize int64
-	// OnReuse, if non-nil, runs under the class lock whenever Alloc hands
-	// out a slot (fresh or reused). HART registers the Algorithm 2 lines
-	// 12-16 check here: a leaf slot whose bit is clear but whose p_value
-	// still references a live value object is the residue of an incomplete
-	// insertion or deletion, and the value must be reclaimed before the
-	// slot is reused.
+	// OnReuse, if non-nil, runs under the owning stripe's lock whenever
+	// Alloc hands out a slot (fresh or reused). HART registers the
+	// Algorithm 2 lines 12-16 check here: a leaf slot whose bit is clear
+	// but whose p_value still references a live value object is the
+	// residue of an incomplete insertion or deletion, and the value must
+	// be reclaimed before the slot is reused.
 	OnReuse func(obj pmem.Ptr)
 }
 
-// chunkMeta is volatile per-chunk bookkeeping.
+// chunkMeta is volatile per-chunk bookkeeping, owned by the chunk's
+// current stripe (guarded by that stripe's mutex).
 type chunkMeta struct {
 	inFlight uint64 // slots handed out but not yet bit-committed
-	inAvail  bool   // chunk is queued in classState.avail
+	inAvail  bool   // chunk is queued in stripeState.avail
+}
+
+// stripeState is the volatile state of one allocation stripe of a class.
+type stripeState struct {
+	mu sync.Mutex
+	// avail queues chunks believed to have a free slot.
+	avail []pmem.Ptr
+	meta  map[pmem.Ptr]*chunkMeta
 }
 
 // classState is volatile per-class state.
 type classState struct {
-	spec ClassSpec
-	mu   sync.Mutex
-	// avail queues chunks believed to have a free slot.
-	avail []pmem.Ptr
-	meta  map[pmem.Ptr]*chunkMeta
-	// nchunks counts chunks ever created for the class (cycle guard).
-	nchunks int
+	spec    ClassSpec
+	stripes [NumStripes]stripeState
+	// nchunks counts chunks ever created for the class across all stripes
+	// (cycle guard for list walks; chunks move stripes but are never
+	// destroyed).
+	nchunks atomic.Int64
 }
 
-// chunkRange records one chunk's extent for ChunkOf lookups.
+// chunkRange records one chunk's extent and current stripe for ChunkOf
+// lookups.
 type chunkRange struct {
-	start pmem.Ptr
-	end   pmem.Ptr
-	class Class
+	start  pmem.Ptr
+	end    pmem.Ptr
+	class  Class
+	stripe int
 }
 
 // Allocator is one EPallocator instance over one arena.
@@ -135,21 +192,22 @@ type Allocator struct {
 	sb      pmem.Ptr
 	classes []classState
 
-	// chunkMu serialises chunk creation (and hence arena reservations, so
-	// the transfer log's predicted address is exact); logMu serialises use
-	// of the single recycle-log slot.
+	// chunkMu serialises fresh arena reservations so the transfer log's
+	// predicted address is exact. It is the innermost lock (acquired with
+	// stripe locks held) and is untouched by the free-list fast paths.
 	chunkMu sync.Mutex
-	logMu   sync.Mutex
 
 	ulogs ulogPool
 
 	// ranges is the chunk-extent index for ChunkOf, published as an
 	// immutable snapshot: registerRange copies, extends and re-publishes
-	// under rangeMu (chunk creation is rare), while lookups — including
-	// BitIsSet on HART's lock-free read path — load the snapshot with a
-	// single atomic read and binary-search it with no lock at all. Chunk
-	// extents are never removed (recycled chunks keep their reservation),
-	// so a stale snapshot is merely short, never wrong.
+	// under rangeMu (chunk creation and stripe moves are rare), while
+	// lookups — including BitIsSet on HART's lock-free read path — load
+	// the snapshot with a single atomic read and binary-search it with no
+	// lock at all. Chunk extents are never removed (recycled chunks keep
+	// their reservation), so a stale snapshot is merely short, never
+	// wrong; a stale *stripe* is re-checked under the stripe lock by
+	// lockStripeOf.
 	rangeMu sync.Mutex
 	ranges  atomic.Pointer[[]chunkRange] // sorted by start
 
@@ -181,16 +239,16 @@ func New(arena *pmem.Arena, specs []ClassSpec) (*Allocator, error) {
 		return nil, fmt.Errorf("epalloc: superblock at %d, want %d (allocator must own the arena's first reservation)",
 			sb, pmem.HeaderSize)
 	}
-	a := &Allocator{arena: arena, sb: sb, classes: make([]classState, len(specs))}
-	a.ulogs.cond = sync.NewCond(&a.ulogs.mu)
-	a.DisarmFaults()
+	a := newAllocator(arena, sb, specs)
 	arena.Write8(sb+sbNumClassesOff, uint64(len(specs)))
+	arena.Write8(sb+sbNumStripesOff, NumStripes)
 	for i, s := range specs {
-		a.classes[i] = classState{spec: s, meta: make(map[pmem.Ptr]*chunkMeta)}
 		ce := a.classEntry(Class(i))
 		arena.Write8(ce+ceObjSizeOff, uint64(s.ObjSize))
-		arena.WritePtr(ce+ceHeadOff, pmem.Nil)
-		arena.WritePtr(ce+ceFreeHeadOff, pmem.Nil)
+		for st := 0; st < NumStripes; st++ {
+			arena.WritePtr(a.headAddr(Class(i), st), pmem.Nil)
+			arena.WritePtr(a.freeHeadAddr(Class(i), st), pmem.Nil)
+		}
 	}
 	// Logs start empty (arena memory is zeroed, but be explicit).
 	for off := int64(sbRLogOff); off < sbSize; off += 8 {
@@ -203,11 +261,30 @@ func New(arena *pmem.Arena, specs []ClassSpec) (*Allocator, error) {
 	return a, nil
 }
 
+// newAllocator builds the volatile Allocator shell shared by New and
+// Attach.
+func newAllocator(arena *pmem.Arena, sb pmem.Ptr, specs []ClassSpec) *Allocator {
+	a := &Allocator{arena: arena, sb: sb, classes: make([]classState, len(specs))}
+	a.ulogs.cond = sync.NewCond(&a.ulogs.mu)
+	for i := range a.ulogs.slots {
+		a.ulogs.slots[i] = ULog{a: a, idx: i, base: a.ulogAddr(i)}
+	}
+	a.DisarmFaults()
+	for i, s := range specs {
+		a.classes[i].spec = s
+		for st := range a.classes[i].stripes {
+			a.classes[i].stripes[st].meta = make(map[pmem.Ptr]*chunkMeta)
+		}
+	}
+	return a
+}
+
 // Attach opens an existing EPallocator after a restart or crash. It
-// rebuilds all volatile state by walking the persistent chunk lists and
-// completes any interrupted recycle operation recorded in the recycle log.
-// specs must match the specs the allocator was formatted with (OnReuse
-// hooks are taken from specs; sizes are validated against PM).
+// rebuilds all volatile state by walking every stripe's persistent chunk
+// lists and completes any interrupted recycle or transfer operation
+// recorded in the per-stripe micro-logs. specs must match the specs the
+// allocator was formatted with (OnReuse hooks are taken from specs; sizes
+// are validated against PM).
 func Attach(arena *pmem.Arena, specs []ClassSpec) (*Allocator, error) {
 	sb := pmem.Ptr(pmem.HeaderSize)
 	if arena.Reserved() < pmem.HeaderSize+sbSize || arena.Read8(sb+sbMagicOff) != epMagic {
@@ -217,9 +294,10 @@ func Attach(arena *pmem.Arena, specs []ClassSpec) (*Allocator, error) {
 	if n != len(specs) {
 		return nil, fmt.Errorf("epalloc: superblock has %d classes, caller supplied %d", n, len(specs))
 	}
-	a := &Allocator{arena: arena, sb: sb, classes: make([]classState, n)}
-	a.ulogs.cond = sync.NewCond(&a.ulogs.mu)
-	a.DisarmFaults()
+	if ns := arena.Read8(sb + sbNumStripesOff); ns != NumStripes {
+		return nil, fmt.Errorf("epalloc: superblock has %d stripes, this build uses %d", ns, NumStripes)
+	}
+	a := newAllocator(arena, sb, specs)
 	for i, s := range specs {
 		ce := a.classEntry(Class(i))
 		pmSize := int64(arena.Read8(ce + ceObjSizeOff))
@@ -227,29 +305,34 @@ func Attach(arena *pmem.Arena, specs []ClassSpec) (*Allocator, error) {
 			return nil, fmt.Errorf("epalloc: class %d (%s) size mismatch: PM %d, caller %d",
 				i, s.Name, pmSize, s.ObjSize)
 		}
-		a.classes[i] = classState{spec: s, meta: make(map[pmem.Ptr]*chunkMeta)}
 	}
 	if err := a.recoverLogs(); err != nil {
 		return nil, err
 	}
-	// Rebuild volatile indexes from the persistent lists.
+	// Rebuild volatile indexes from the persistent per-stripe lists. One
+	// seen-set per class spans every stripe, so a chunk reachable from two
+	// stripes (or twice from one) is caught here.
 	for i := range a.classes {
 		c := Class(i)
 		cs := &a.classes[i]
 		seen := make(map[pmem.Ptr]bool)
-		for _, head := range []pmem.Ptr{a.head(c), a.freeHead(c)} {
-			inFree := head == a.freeHead(c) && head != a.head(c)
-			for p := head; !p.IsNil(); p = a.arena.ReadPtr(p + 8) {
-				if seen[p] {
-					return nil, fmt.Errorf("%w: class %s chunk list cycle at %d", ErrCorrupt, cs.spec.Name, p)
-				}
-				seen[p] = true
-				cs.nchunks++
-				a.registerRange(p, c)
-				cs.meta[p] = &chunkMeta{}
-				if !inFree && a.readHeader(p).free() > 0 {
-					cs.meta[p].inAvail = true
-					cs.avail = append(cs.avail, p)
+		for st := 0; st < NumStripes; st++ {
+			ss := &cs.stripes[st]
+			for listNo, head := range []pmem.Ptr{a.head(c, st), a.freeHead(c, st)} {
+				inFree := listNo == 1
+				for p := head; !p.IsNil(); p = a.arena.ReadPtr(p + 8) {
+					if seen[p] {
+						return nil, fmt.Errorf("%w: class %s chunk %d reachable twice across stripe lists",
+							ErrCorrupt, cs.spec.Name, p)
+					}
+					seen[p] = true
+					cs.nchunks.Add(1)
+					a.registerRange(p, c, st)
+					ss.meta[p] = &chunkMeta{}
+					if !inFree && a.readHeader(p).free() > 0 {
+						ss.meta[p].inAvail = true
+						ss.avail = append(ss.avail, p)
+					}
 				}
 			}
 		}
@@ -271,17 +354,35 @@ func (a *Allocator) classEntry(c Class) pmem.Ptr {
 	return a.sb + sbClassTableOff + pmem.Ptr(int64(c)*ceSize)
 }
 
-// headAddr returns the PM address of the class's chunk-list head field.
-func (a *Allocator) headAddr(c Class) pmem.Ptr { return a.classEntry(c) + ceHeadOff }
+// headAddr returns the PM address of the stripe's chunk-list head field.
+func (a *Allocator) headAddr(c Class, stripe int) pmem.Ptr {
+	return a.classEntry(c) + ceHeadsOff + pmem.Ptr(stripe*8)
+}
 
-// freeHeadAddr returns the PM address of the class's free-list head field.
-func (a *Allocator) freeHeadAddr(c Class) pmem.Ptr { return a.classEntry(c) + ceFreeHeadOff }
+// freeHeadAddr returns the PM address of the stripe's free-list head field.
+func (a *Allocator) freeHeadAddr(c Class, stripe int) pmem.Ptr {
+	return a.classEntry(c) + ceFreeHeadsOff + pmem.Ptr(stripe*8)
+}
 
-// head reads the class's chunk-list head.
-func (a *Allocator) head(c Class) pmem.Ptr { return a.arena.ReadPtr(a.headAddr(c)) }
+// head reads the stripe's chunk-list head.
+func (a *Allocator) head(c Class, stripe int) pmem.Ptr {
+	return a.arena.ReadPtr(a.headAddr(c, stripe))
+}
 
-// freeHead reads the class's free-list head.
-func (a *Allocator) freeHead(c Class) pmem.Ptr { return a.arena.ReadPtr(a.freeHeadAddr(c)) }
+// freeHead reads the stripe's free-list head.
+func (a *Allocator) freeHead(c Class, stripe int) pmem.Ptr {
+	return a.arena.ReadPtr(a.freeHeadAddr(c, stripe))
+}
+
+// rlogAddr returns the PM base address of the stripe's recycle-log slot.
+func (a *Allocator) rlogAddr(stripe int) pmem.Ptr {
+	return a.sb + sbRLogOff + pmem.Ptr(stripe*rlogSlotSize)
+}
+
+// tlogAddr returns the PM base address of the stripe's transfer-log slot.
+func (a *Allocator) tlogAddr(stripe int) pmem.Ptr {
+	return a.sb + sbTLogOff + pmem.Ptr(stripe*tlogSlotSize)
+}
 
 // header manipulates the packed 8-byte chunk header.
 type header uint64
@@ -323,20 +424,42 @@ func (a *Allocator) writeHeader(chunk pmem.Ptr, h header) {
 	a.arena.Persist(chunk, 8)
 }
 
-// registerRange records a chunk extent for ChunkOf, publishing a fresh
-// snapshot (copy-on-write; see the ranges field).
-func (a *Allocator) registerRange(chunk pmem.Ptr, c Class) {
+// registerRange records a chunk extent and its owning stripe for ChunkOf,
+// publishing a fresh snapshot (copy-on-write; see the ranges field). A
+// re-registration of a known chunk updates its stripe (free-list steal).
+func (a *Allocator) registerRange(chunk pmem.Ptr, c Class, stripe int) {
 	end := chunk + pmem.Ptr(chunkSize(a.classes[c].spec.ObjSize))
 	a.rangeMu.Lock()
 	defer a.rangeMu.Unlock()
 	old := a.rangeSnapshot()
 	i := sort.Search(len(old), func(i int) bool { return old[i].start >= chunk })
 	if i < len(old) && old[i].start == chunk {
-		return // re-registration after free-list reuse
+		if old[i].stripe == stripe {
+			return // re-registration after same-stripe free-list reuse
+		}
+		nu := make([]chunkRange, len(old))
+		copy(nu, old)
+		nu[i].stripe = stripe
+		a.ranges.Store(&nu)
+		return
 	}
-	nu := make([]chunkRange, 0, len(old)+1)
+	if i == len(old) && cap(old) > len(old) {
+		// Fresh chunks come from the arena's bump reservation, so runtime
+		// registrations append in address order; reuse the spare capacity
+		// grown below. Readers of the old snapshot never index past their
+		// slice length, and the atomic Store orders the element write
+		// before the new length becomes visible, so sharing the backing
+		// array with published snapshots is safe.
+		nu := append(old, chunkRange{start: chunk, end: end, class: c, stripe: stripe})
+		a.ranges.Store(&nu)
+		return
+	}
+	// Out-of-order insert (Attach replay) or exhausted capacity: rebuild
+	// with doubling headroom so runtime appends stay amortised O(1) instead
+	// of copying the whole index per chunk.
+	nu := make([]chunkRange, 0, 2*len(old)+8)
 	nu = append(nu, old[:i]...)
-	nu = append(nu, chunkRange{start: chunk, end: end, class: c})
+	nu = append(nu, chunkRange{start: chunk, end: end, class: c, stripe: stripe})
 	nu = append(nu, old[i:]...)
 	a.ranges.Store(&nu)
 }
@@ -366,6 +489,27 @@ func (a *Allocator) lookupRange(obj pmem.Ptr) (chunkRange, bool) {
 	return r, true
 }
 
+// lockStripeOf locks and returns the stripe currently owning obj's chunk.
+// A concurrent free-list steal can move the chunk to another stripe
+// between the lookup and the lock, so the ownership is re-checked under
+// the lock and the acquisition retried if it moved (steals require the
+// source stripe's lock, so once we hold the lock of the stripe the
+// snapshot names, the chunk cannot move).
+func (a *Allocator) lockStripeOf(obj pmem.Ptr) (chunkRange, *stripeState, error) {
+	for {
+		r, ok := a.lookupRange(obj)
+		if !ok {
+			return chunkRange{}, nil, ErrNotChunkObject
+		}
+		ss := &a.classes[r.class].stripes[r.stripe]
+		ss.mu.Lock()
+		if r2, ok := a.lookupRange(obj); ok && r2.stripe == r.stripe {
+			return r2, ss, nil
+		}
+		ss.mu.Unlock()
+	}
+}
+
 // ChunkOf returns the chunk containing obj (the paper's MemChunkOf).
 func (a *Allocator) ChunkOf(obj pmem.Ptr) (pmem.Ptr, error) {
 	r, ok := a.lookupRange(obj)
@@ -382,6 +526,16 @@ func (a *Allocator) ClassOf(obj pmem.Ptr) (Class, error) {
 		return 0, ErrNotChunkObject
 	}
 	return r.class, nil
+}
+
+// StripeOf returns the stripe currently owning obj's chunk (diagnostics
+// and tests; the answer can be stale the moment it returns).
+func (a *Allocator) StripeOf(obj pmem.Ptr) (int, error) {
+	r, ok := a.lookupRange(obj)
+	if !ok {
+		return 0, ErrNotChunkObject
+	}
+	return r.stripe, nil
 }
 
 // slotIndex returns the slot number of obj within its chunk. obj must be a

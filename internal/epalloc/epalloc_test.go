@@ -245,7 +245,7 @@ func TestRecycleKeepsLastChunk(t *testing.T) {
 		t.Fatal(err)
 	}
 	// The sole chunk stays linked to avoid thrash.
-	if al.head(0).IsNil() {
+	if al.head(0, 0).IsNil() {
 		t.Fatal("sole chunk was recycled")
 	}
 	if err := al.Check(); err != nil {
@@ -461,16 +461,19 @@ func TestCrashDuringRecycleEveryPersist(t *testing.T) {
 		if n != ObjectsPerChunk {
 			t.Fatalf("fail=%d: used = %d, want %d", fail, n, ObjectsPerChunk)
 		}
-		// The victim chunk must be fully accounted: linked or free.
+		// The victim chunk must be fully accounted: linked or free on
+		// exactly one stripe.
 		onList := 0
-		for p := al2.head(0); !p.IsNil(); p = al2.arena.ReadPtr(p + 8) {
-			if p == victim {
-				onList++
+		for s := 0; s < NumStripes; s++ {
+			for p := al2.head(0, s); !p.IsNil(); p = al2.arena.ReadPtr(p + 8) {
+				if p == victim {
+					onList++
+				}
 			}
-		}
-		for p := al2.freeHead(0); !p.IsNil(); p = al2.arena.ReadPtr(p + 8) {
-			if p == victim {
-				onList++
+			for p := al2.freeHead(0, s); !p.IsNil(); p = al2.arena.ReadPtr(p + 8) {
+				if p == victim {
+					onList++
+				}
 			}
 		}
 		if onList != 1 {
@@ -553,11 +556,13 @@ func assertNoChunkLeak(t *testing.T, al *Allocator, fail int64) {
 	for i := range al.classes {
 		c := Class(i)
 		size := chunkSize(al.classes[i].spec.ObjSize)
-		for p := al.head(c); !p.IsNil(); p = al.arena.ReadPtr(p + 8) {
-			covered += size
-		}
-		for p := al.freeHead(c); !p.IsNil(); p = al.arena.ReadPtr(p + 8) {
-			covered += size
+		for s := 0; s < NumStripes; s++ {
+			for p := al.head(c, s); !p.IsNil(); p = al.arena.ReadPtr(p + 8) {
+				covered += size
+			}
+			for p := al.freeHead(c, s); !p.IsNil(); p = al.arena.ReadPtr(p + 8) {
+				covered += size
+			}
 		}
 	}
 	// Reservations are 8-aligned; allow alignment slack of < 8 per chunk.

@@ -7,14 +7,14 @@ import (
 )
 
 // Recycle implements EPRecycle (Algorithm 6): if the chunk holding obj has
-// no live or in-flight object, it is unlinked from its class's chunk list
-// under the persistent recycle log and pushed onto the class's free list
-// for reuse (the paper's pfree). Recycle is a no-op when the chunk still
-// has used objects (Algorithm 6 lines 1-2).
+// no live or in-flight object, it is unlinked from its stripe's chunk list
+// under the stripe's persistent recycle log and pushed onto the stripe's
+// free list for reuse (the paper's pfree). Recycle is a no-op when the
+// chunk still has used objects (Algorithm 6 lines 1-2).
 //
 // The log protocol hardens Algorithm 6 slightly: PPrev records the PM
-// address of the *link field* pointing at the chunk (the class head field
-// or the predecessor's PNext field) and is armed before PCurrent, so
+// address of the *link field* pointing at the chunk (the stripe's head
+// field or the predecessor's PNext field) and is armed before PCurrent, so
 // recovery never has to guess whether the chunk was the head. See
 // recoverLogs for the case analysis.
 func (a *Allocator) Recycle(obj pmem.Ptr) error {
@@ -22,16 +22,16 @@ func (a *Allocator) Recycle(obj pmem.Ptr) error {
 	if !ok {
 		return ErrNotChunkObject
 	}
-	return a.recycleChunk(r.class, r.start)
+	return a.recycleChunkMode(r.start, false)
 }
 
 // RecycleChunk recycles the given chunk directly.
 func (a *Allocator) RecycleChunk(c Class, chunk pmem.Ptr) error {
-	return a.recycleChunk(c, chunk)
+	return a.recycleChunkMode(chunk, false)
 }
 
 // RecycleIfPresent behaves like Recycle but silently succeeds when the
-// chunk is no longer on its class's chunk list. Recovery and repair paths
+// chunk is no longer on its stripe's chunk list. Recovery and repair paths
 // use it: replaying an interrupted operation may re-recycle a chunk the
 // crashed run already unlinked.
 func (a *Allocator) RecycleIfPresent(obj pmem.Ptr) error {
@@ -39,33 +39,33 @@ func (a *Allocator) RecycleIfPresent(obj pmem.Ptr) error {
 	if !ok {
 		return ErrNotChunkObject
 	}
-	return a.recycleChunkMode(r.class, r.start, true)
-}
-
-func (a *Allocator) recycleChunk(c Class, chunk pmem.Ptr) error {
-	return a.recycleChunkMode(c, chunk, false)
+	return a.recycleChunkMode(r.start, true)
 }
 
 // recycleChunkMode implements Recycle; lenient mode treats "chunk not on
-// the list" as success instead of corruption.
-func (a *Allocator) recycleChunkMode(c Class, chunk pmem.Ptr, lenient bool) error {
-	cs := &a.classes[c]
-	cs.mu.Lock()
-	defer cs.mu.Unlock()
+// the list" as success instead of corruption. The operation is local to
+// the chunk's current stripe: its lock, its lists, its recycle-log slot.
+func (a *Allocator) recycleChunkMode(chunk pmem.Ptr, lenient bool) error {
+	r, ss, err := a.lockStripeOf(chunk + chunkDataOff)
+	if err != nil {
+		return err
+	}
+	defer ss.mu.Unlock()
+	c, stripe := r.class, r.stripe
 
-	meta := cs.meta[chunk]
+	meta := ss.meta[chunk]
 	h := a.readHeader(chunk)
 	if h.bitmap() != 0 || (meta != nil && meta.inFlight != 0) {
 		return nil // chunk has a used object (Algorithm 6 lines 1-2)
 	}
-	// Keep at least one chunk per class linked: recycling the only chunk
+	// Keep at least one chunk per stripe linked: recycling the only chunk
 	// just to re-reserve one on the next Alloc would thrash.
-	if a.head(c) == chunk && a.arena.ReadPtr(chunk+8).IsNil() {
+	if a.head(c, stripe) == chunk && a.arena.ReadPtr(chunk+8).IsNil() {
 		return nil
 	}
 
 	// Find the link field pointing at the chunk.
-	link := a.headAddr(c)
+	link := a.headAddr(c, stripe)
 	for {
 		at := a.arena.ReadPtr(link)
 		if at == chunk {
@@ -75,122 +75,145 @@ func (a *Allocator) recycleChunkMode(c Class, chunk pmem.Ptr, lenient bool) erro
 			if lenient {
 				return nil
 			}
-			return fmt.Errorf("%w: chunk %d not on class %d list", ErrCorrupt, chunk, c)
+			return fmt.Errorf("%w: chunk %d not on class %d stripe %d list", ErrCorrupt, chunk, c, stripe)
 		}
 		link = at + 8 // predecessor's PNext field
 	}
 
-	a.logMu.Lock()
-	defer a.logMu.Unlock()
 	ar := a.arena
+	rl := a.rlogAddr(stripe)
 
-	// Arm the recycle log: PPrev (link field address) first, class, then
-	// PCurrent last — the log is considered armed iff PCurrent != 0.
-	ar.WritePtr(a.sb+sbRLogOff, link)
-	ar.Persist(a.sb+sbRLogOff, 8)
-	ar.Write8(a.sb+sbRLogOff+16, uint64(c))
-	ar.Persist(a.sb+sbRLogOff+16, 8)
-	ar.WritePtr(a.sb+sbRLogOff+8, chunk)
-	ar.Persist(a.sb+sbRLogOff+8, 8)
+	// Arm the stripe's recycle log: PPrev (link field address) first,
+	// class, then PCurrent last — the slot is armed iff PCurrent != 0. The
+	// stripe lock is what gives the writer exclusive use of the slot.
+	ar.WritePtr(rl+rlPrevOff, link)
+	ar.Persist(rl+rlPrevOff, 8)
+	ar.Write8(rl+rlClassOff, uint64(c))
+	ar.Persist(rl+rlClassOff, 8)
+	ar.WritePtr(rl+rlCurOff, chunk)
+	ar.Persist(rl+rlCurOff, 8)
 
 	// Unlink (Algorithm 6 line 6 / line 10).
 	ar.WritePtr(link, ar.ReadPtr(chunk+8))
 	ar.Persist(link, 8)
 
-	// pfree (Algorithm 6 line 11): push onto the class free list.
-	a.pushFreeList(c, chunk)
+	// pfree (Algorithm 6 line 11): push onto the stripe's free list.
+	a.pushFreeList(c, stripe, chunk)
 
 	// Reclaim the log (Algorithm 6 line 12).
-	ar.WritePtr(a.sb+sbRLogOff+8, pmem.Nil)
-	ar.Persist(a.sb+sbRLogOff+8, 8)
+	ar.WritePtr(rl+rlCurOff, pmem.Nil)
+	ar.Persist(rl+rlCurOff, 8)
 
 	// Volatile bookkeeping: the chunk no longer offers slots.
 	if meta != nil {
 		meta.inAvail = false
 	}
-	for i, p := range cs.avail {
+	for i, p := range ss.avail {
 		if p == chunk {
-			cs.avail = append(cs.avail[:i], cs.avail[i+1:]...)
+			ss.avail = append(ss.avail[:i], ss.avail[i+1:]...)
 			break
 		}
 	}
 	return nil
 }
 
-// pushFreeList pushes chunk onto class c's free list. Both steps are
-// individually idempotent given the recovery guards in recoverLogs.
-func (a *Allocator) pushFreeList(c Class, chunk pmem.Ptr) {
+// pushFreeList pushes chunk onto class c, stripe s's free list. Both steps
+// are individually idempotent given the recovery guards in recoverLogs.
+func (a *Allocator) pushFreeList(c Class, stripe int, chunk pmem.Ptr) {
 	ar := a.arena
-	ar.WritePtr(chunk+8, a.freeHead(c))
+	ar.WritePtr(chunk+8, a.freeHead(c, stripe))
 	ar.Persist(chunk+8, 8)
-	ar.WritePtr(a.freeHeadAddr(c), chunk)
-	ar.Persist(a.freeHeadAddr(c), 8)
+	ar.WritePtr(a.freeHeadAddr(c, stripe), chunk)
+	ar.Persist(a.freeHeadAddr(c, stripe), 8)
 }
 
-// FreeChunks returns the number of chunks on the class's free list.
+// FreeChunks returns the number of chunks on the class's free lists across
+// all stripes.
 func (a *Allocator) FreeChunks(c Class) int {
-	n := 0
-	for p := a.freeHead(c); !p.IsNil(); p = a.arena.ReadPtr(p + 8) {
-		n++
-		if n > a.classes[c].nchunks+1 {
-			return -1 // cycle; Check reports the detail
+	total := 0
+	limit := int(a.classes[c].nchunks.Load()) + 1
+	for s := 0; s < NumStripes; s++ {
+		n := 0
+		for p := a.freeHead(c, s); !p.IsNil(); p = a.arena.ReadPtr(p + 8) {
+			n++
+			if n > limit {
+				return -1 // cycle; Check reports the detail
+			}
 		}
+		total += n
 	}
-	return n
+	return total
 }
 
 // recoverLogs completes any chunk-list operation interrupted by a crash:
-// the recycle log (chunk leaving a chunk list) and the transfer log (chunk
-// joining a chunk list). Called once from Attach, before any volatile
-// state is rebuilt.
+// each stripe's recycle log (chunk leaving the stripe's chunk list) and
+// transfer log (chunk joining the stripe's chunk list, popped from some
+// stripe's free list or freshly reserved). Called once from Attach, before
+// any volatile state is rebuilt. At most one slot per stripe can be armed
+// (both run under the stripe lock), and slots of different stripes record
+// independent operations — a cross-stripe steal arms only the destination
+// stripe's transfer slot while holding both stripe locks — so replay order
+// across stripes does not matter.
 func (a *Allocator) recoverLogs() error {
 	ar := a.arena
 
-	// Recycle log. Armed iff PCurrent != 0.
-	if cur := ar.ReadPtr(a.sb + sbRLogOff + 8); !cur.IsNil() {
-		link := ar.ReadPtr(a.sb + sbRLogOff)
-		c := Class(ar.Read8(a.sb + sbRLogOff + 16))
-		if link.IsNil() || int(c) >= len(a.classes) {
-			return fmt.Errorf("%w: recycle log armed with invalid state (link=%d class=%d)",
-				ErrCorrupt, link, c)
+	for s := 0; s < NumStripes; s++ {
+		// Recycle log. Armed iff PCurrent != 0.
+		rl := a.rlogAddr(s)
+		if cur := ar.ReadPtr(rl + rlCurOff); !cur.IsNil() {
+			link := ar.ReadPtr(rl + rlPrevOff)
+			c := Class(ar.Read8(rl + rlClassOff))
+			if link.IsNil() || int(c) >= len(a.classes) {
+				return fmt.Errorf("%w: stripe %d recycle log armed with invalid state (link=%d class=%d)",
+					ErrCorrupt, s, link, c)
+			}
+			switch {
+			case a.freeHead(c, s) == cur:
+				// pfree completed; only the log reclaim was lost.
+			case ar.ReadPtr(link) == cur:
+				// Crash before the unlink persisted: redo unlink, then pfree.
+				ar.WritePtr(link, ar.ReadPtr(cur+8))
+				ar.Persist(link, 8)
+				a.pushFreeList(c, s, cur)
+			default:
+				// Unlinked but pfree incomplete. Step 1 (cur.PNext =
+				// freeHead) is idempotent; step 2 publishes the chunk.
+				a.pushFreeList(c, s, cur)
+			}
+			ar.WritePtr(rl+rlCurOff, pmem.Nil)
+			ar.Persist(rl+rlCurOff, 8)
 		}
-		switch {
-		case a.freeHead(c) == cur:
-			// pfree completed; only the log reclaim was lost.
-		case ar.ReadPtr(link) == cur:
-			// Crash before the unlink persisted: redo unlink, then pfree.
-			ar.WritePtr(link, ar.ReadPtr(cur+8))
-			ar.Persist(link, 8)
-			a.pushFreeList(c, cur)
-		default:
-			// Unlinked but pfree incomplete. Step 1 (cur.PNext = freeHead)
-			// is idempotent; step 2 publishes the chunk.
-			a.pushFreeList(c, cur)
-		}
-		ar.WritePtr(a.sb+sbRLogOff+8, pmem.Nil)
-		ar.Persist(a.sb+sbRLogOff+8, 8)
-	}
 
-	// Transfer log. Armed iff PChunk != 0.
-	if chunk := ar.ReadPtr(a.sb + sbTLogOff); !chunk.IsNil() {
-		c := Class(ar.Read8(a.sb + sbTLogOff + 8))
-		if int(c) >= len(a.classes) {
-			return fmt.Errorf("%w: transfer log armed with invalid class %d", ErrCorrupt, c)
+		// Transfer log. Armed iff PChunk != 0; the slot index is the
+		// destination stripe.
+		tl := a.tlogAddr(s)
+		if chunk := ar.ReadPtr(tl + tlChunkOff); !chunk.IsNil() {
+			c := Class(ar.Read8(tl + tlClassOff))
+			src := int(ar.Read8(tl + tlSrcOff))
+			if int(c) >= len(a.classes) || src > tlSrcFresh {
+				return fmt.Errorf("%w: stripe %d transfer log armed with invalid state (class=%d src=%d)",
+					ErrCorrupt, s, c, src)
+			}
+			size := chunkSize(a.classes[c].spec.ObjSize)
+			switch {
+			case src == tlSrcFresh && int64(chunk)+size > a.arena.Reserved():
+				// The reservation itself never became durable; nothing to do.
+			case a.head(c, s) == chunk:
+				// Fully linked; only the disarm was lost.
+			case src != tlSrcFresh && a.freeHead(c, src) == chunk:
+				// Free-list pop never became durable; chunk is still free on
+				// the source stripe.
+			case a.freeHead(c, s) == chunk:
+				// An earlier interrupted replay already parked the chunk on
+				// the destination's free list; only the disarm was lost.
+			default:
+				// In limbo between the lists: park it on the destination
+				// stripe's free list.
+				a.pushFreeList(c, s, chunk)
+			}
+			ar.WritePtr(tl+tlChunkOff, pmem.Nil)
+			ar.Persist(tl+tlChunkOff, 8)
 		}
-		size := chunkSize(a.classes[c].spec.ObjSize)
-		switch {
-		case int64(chunk)+size > a.arena.Reserved():
-			// The reservation itself never became durable; nothing to do.
-		case a.head(c) == chunk:
-			// Fully linked; only the disarm was lost.
-		case a.freeHead(c) == chunk:
-			// Free-list pop never became durable; chunk is still free.
-		default:
-			// In limbo between the lists: park it on the free list.
-			a.pushFreeList(c, chunk)
-		}
-		ar.WritePtr(a.sb+sbTLogOff, pmem.Nil)
-		ar.Persist(a.sb+sbTLogOff, 8)
 	}
 	return nil
 }

@@ -1,0 +1,313 @@
+package epalloc
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"github.com/casl-sdsu/hart/internal/pmem"
+)
+
+// TestAllocStripeAffinity checks that AllocStripe serves every stripe from
+// that stripe's own chunks: eight allocations on eight stripes land in
+// eight distinct chunks, each registered to its stripe.
+func TestAllocStripeAffinity(t *testing.T) {
+	_, al := newAlloc(t, 4<<20)
+	chunks := map[pmem.Ptr]int{}
+	for s := 0; s < NumStripes; s++ {
+		obj, err := al.AllocStripe(0, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got, err := al.StripeOf(obj); err != nil || got != s {
+			t.Fatalf("StripeOf = (%d,%v), want stripe %d", got, err, s)
+		}
+		chunk, err := al.ChunkOf(obj)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if prev, dup := chunks[chunk]; dup {
+			t.Fatalf("stripes %d and %d share chunk %d", prev, s, chunk)
+		}
+		chunks[chunk] = s
+		if err := al.SetBit(obj); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := al.CheckQuiescent(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCrossStripeSteal empties a chunk on one stripe (parking it on that
+// stripe's free list) and then allocates on a different, dry stripe: the
+// allocator must steal the free chunk across stripes instead of reserving
+// fresh arena space, re-registering it to the destination stripe.
+func TestCrossStripeSteal(t *testing.T) {
+	_, al := newAlloc(t, 4<<20)
+	// Fill stripe 2's first chunk so a second chunk appears, then empty
+	// the second chunk. The keep-one rule protects only the last linked
+	// chunk, so the emptied one is recycled onto stripe 2's free list.
+	var first []pmem.Ptr
+	for i := 0; i < ObjectsPerChunk; i++ {
+		obj, err := al.AllocStripe(1, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := al.SetBit(obj); err != nil {
+			t.Fatal(err)
+		}
+		first = append(first, obj)
+	}
+	extra, err := al.AllocStripe(1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := al.SetBit(extra); err != nil {
+		t.Fatal(err)
+	}
+	stolen, err := al.ChunkOf(extra)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := al.Release(extra); err != nil {
+		t.Fatal(err)
+	}
+	if n := al.FreeChunks(1); n != 1 {
+		t.Fatalf("FreeChunks = %d, want 1 (emptied chunk recycled)", n)
+	}
+
+	nch := int(al.classes[1].nchunks.Load())
+	obj, err := al.AllocStripe(1, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, err := al.ChunkOf(obj); err != nil || got != stolen {
+		t.Fatalf("ChunkOf = (%d,%v), want stolen chunk %d", got, err, stolen)
+	}
+	if s, err := al.StripeOf(obj); err != nil || s != 6 {
+		t.Fatalf("StripeOf = (%d,%v), want destination stripe 6", s, err)
+	}
+	if got := int(al.classes[1].nchunks.Load()); got != nch {
+		t.Fatalf("nchunks grew %d -> %d: steal reserved fresh space", nch, got)
+	}
+	if n := al.FreeChunks(1); n != 0 {
+		t.Fatalf("FreeChunks = %d after steal, want 0", n)
+	}
+	if err := al.SetBit(obj); err != nil {
+		t.Fatal(err)
+	}
+	for _, o := range first[:3] { // stripe 2's full chunk is untouched
+		if set, _ := al.BitIsSet(o); !set {
+			t.Fatalf("slot %d lost its bit across the steal", o)
+		}
+	}
+	if err := al.CheckQuiescent(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAllocBatchContiguousRuns checks AllocBatch's ordering contract: the
+// slots of one chunk come back adjacent and ascending, so SetBits can
+// commit each chunk run with a single header persist.
+func TestAllocBatchContiguousRuns(t *testing.T) {
+	_, al := newAlloc(t, 4<<20)
+	size := al.ObjSize(1)
+	n := ObjectsPerChunk + 10 // forces a second chunk mid-batch
+	objs, err := al.AllocBatch(1, 4, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(objs) != n {
+		t.Fatalf("AllocBatch returned %d slots, want %d", len(objs), n)
+	}
+	runs := 1
+	for i := 1; i < n; i++ {
+		if objs[i] == objs[i-1]+pmem.Ptr(size) {
+			continue
+		}
+		// Run break: must be a chunk boundary, never a gap inside a chunk.
+		ca, _ := al.ChunkOf(objs[i-1])
+		cb, _ := al.ChunkOf(objs[i])
+		if ca == cb {
+			t.Fatalf("slots %d and %d of one chunk not adjacent: %d then %d", i-1, i, objs[i-1], objs[i])
+		}
+		runs++
+	}
+	if runs != 2 {
+		t.Fatalf("batch split into %d chunk runs, want 2", runs)
+	}
+	if got, err := al.SetBits(objs); err != nil || got != n {
+		t.Fatalf("SetBits = (%d,%v)", got, err)
+	}
+	if used, err := al.CountUsed(1); err != nil || used != n {
+		t.Fatalf("CountUsed = (%d,%v), want %d", used, err, n)
+	}
+	if err := al.CheckQuiescent(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSetBitsCommitsPrefixOnError checks SetBits' prefix contract: when a
+// later object fails (here: not a chunk object at all), the returned count
+// is exactly the number of durably committed bits, and everything after
+// stays uncommitted.
+func TestSetBitsCommitsPrefixOnError(t *testing.T) {
+	_, al := newAlloc(t, 4<<20)
+	objs, err := al.AllocBatch(0, 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := []pmem.Ptr{objs[0], objs[1], pmem.Ptr(8), objs[2]}
+	n, err := al.SetBits(bad)
+	if !errors.Is(err, ErrNotChunkObject) || n != 2 {
+		t.Fatalf("SetBits = (%d,%v), want (2, ErrNotChunkObject)", n, err)
+	}
+	for i, want := range []bool{true, true, false} {
+		if set, _ := al.BitIsSet(objs[i]); set != want {
+			t.Fatalf("slot %d bit = %v, want %v", i, set, want)
+		}
+	}
+	// The uncommitted tail can be aborted and the prefix released.
+	if err := al.Abort(objs[2]); err != nil {
+		t.Fatal(err)
+	}
+	if err := al.Release(objs[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := al.Release(objs[1]); err != nil {
+		t.Fatal(err)
+	}
+	if err := al.CheckQuiescent(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAllocBatchAbortsOnInjectedFailure checks AllocBatch's no-partial
+// contract: when chunk acquisition fails mid-batch, the already-claimed
+// slots leave their in-flight state.
+func TestAllocBatchAbortsOnInjectedFailure(t *testing.T) {
+	_, al := newAlloc(t, 4<<20)
+	// Deterministic mid-batch failure: a batch larger than a tiny arena
+	// can ever serve, so chunk acquisition fails once the space runs out.
+	small, err := pmem.New(pmem.Config{Size: 1 << 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sal, err := New(small, testSpecs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sal.AllocBatch(0, 0, 100*ObjectsPerChunk); err == nil {
+		t.Fatal("AllocBatch succeeded beyond arena capacity")
+	}
+	if err := sal.CheckQuiescent(); err != nil {
+		t.Fatalf("in-flight slots leaked by failed batch: %v", err)
+	}
+	if err := al.CheckQuiescent(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStripedULogClaims checks the lock-free update-log pool partition:
+// claims prefer the caller's stripe, spill to siblings when the stripe is
+// dry, and Reclaim returns slots to their home partition.
+func TestStripedULogClaims(t *testing.T) {
+	_, al := newAlloc(t, 1<<20)
+	var own []*ULog
+	for i := 0; i < ulogsPerStripe; i++ {
+		u := al.GetUpdateLogStriped(3)
+		if got := u.idx / ulogsPerStripe; got != 3 {
+			t.Fatalf("claim %d landed in stripe %d's partition, want 3", i, got)
+		}
+		own = append(own, u)
+	}
+	// Stripe 3 is dry: the next claim must steal from a sibling partition.
+	spill := al.GetUpdateLogStriped(3)
+	if got := spill.idx / ulogsPerStripe; got == 3 {
+		t.Fatalf("claim beyond the partition stayed on stripe 3 (slot %d)", spill.idx)
+	}
+	spill.Reclaim()
+	for _, u := range own {
+		u.Reclaim()
+	}
+	// All slots home again: a fresh claim gets stripe 3's first slot back.
+	u := al.GetUpdateLogStriped(3)
+	if got := u.idx / ulogsPerStripe; got != 3 {
+		t.Fatalf("post-reclaim claim landed in stripe %d's partition", got)
+	}
+	u.Reclaim()
+	if err := al.CheckQuiescent(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCheckDetectsCrossStripeDuplicate is the regression test for the
+// stripe-partition invariant: PM corrupted so one chunk is reachable from
+// two stripes' lists must fail both the online fsck and a fresh Attach.
+func TestCheckDetectsCrossStripeDuplicate(t *testing.T) {
+	arena, al := newAlloc(t, 4<<20)
+	a0, err := al.AllocStripe(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := al.SetBit(a0); err != nil {
+		t.Fatal(err)
+	}
+	chunk0, err := al.ChunkOf(a0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := al.Check(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Corrupt: point stripe 5's chunk-list head at stripe 0's chunk.
+	arena.WritePtr(al.headAddr(0, 5), chunk0)
+	arena.Persist(al.headAddr(0, 5), 8)
+
+	err = al.Check()
+	if !errors.Is(err, ErrCorrupt) || !strings.Contains(err.Error(), "reachable twice") {
+		t.Fatalf("Check = %v, want ErrCorrupt (reachable twice)", err)
+	}
+
+	// The corruption is durable: recovery must refuse to attach.
+	img, err := arena.DurableImage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ar2, err := pmem.Attach(img, pmem.Config{Size: int64(len(img))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Attach(ar2, testSpecs()); !errors.Is(err, ErrCorrupt) ||
+		!strings.Contains(err.Error(), "reachable twice across stripe lists") {
+		t.Fatalf("Attach = %v, want ErrCorrupt (reachable twice across stripe lists)", err)
+	}
+}
+
+// TestCheckDetectsStripeRegistrationMismatch corrupts the partition the
+// other way round: a chunk moved onto a stripe's persistent list without
+// its registration following must fail Check.
+func TestCheckDetectsStripeRegistrationMismatch(t *testing.T) {
+	arena, al := newAlloc(t, 4<<20)
+	a0, err := al.AllocStripe(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := al.SetBit(a0); err != nil {
+		t.Fatal(err)
+	}
+	chunk0, err := al.ChunkOf(a0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Move the chunk to stripe 3's list on PM only (registration and
+	// volatile state still say stripe 0).
+	arena.WritePtr(al.headAddr(0, 0), pmem.Nil)
+	arena.WritePtr(al.headAddr(0, 3), chunk0)
+	err = al.Check()
+	if !errors.Is(err, ErrCorrupt) || !strings.Contains(err.Error(), "registered to stripe") {
+		t.Fatalf("Check = %v, want ErrCorrupt (stripe registration mismatch)", err)
+	}
+}

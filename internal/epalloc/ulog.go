@@ -1,7 +1,9 @@
 package epalloc
 
 import (
+	"math/bits"
 	"sync"
+	"sync/atomic"
 
 	"github.com/casl-sdsu/hart/internal/pmem"
 )
@@ -11,6 +13,15 @@ import (
 // one concurrent writer per ART, so a pool of 64 accommodates far more
 // concurrency than the 16 hardware threads of the paper's testbed.
 const NumUpdateLogs = 64
+
+// ulogsPerStripe is each stripe's partition of the update-log pool: slots
+// [stripe*ulogsPerStripe, (stripe+1)*ulogsPerStripe) belong to the stripe,
+// claimed by a lock-free CAS on the stripe's busy word. A dry stripe
+// steals from its siblings before blocking.
+const ulogsPerStripe = NumUpdateLogs / NumStripes
+
+// ulogStripeMask covers one stripe's busy bits.
+const ulogStripeMask = (uint64(1) << ulogsPerStripe) - 1
 
 const ulogSlotSize = 24
 
@@ -24,36 +35,88 @@ const (
 // ULog is one persistent update log (Algorithm 3). A ULog is armed once
 // PLeaf is set and disarmed by Reclaim; recovery interprets the three
 // pointers exactly as the paper describes. The slot is exclusively owned
-// between GetUpdateLog and Reclaim.
+// between GetUpdateLog/GetUpdateLogStriped and Reclaim.
 type ULog struct {
 	a    *Allocator
 	idx  int
 	base pmem.Ptr
 }
 
-// ulogPool hands out slots from the fixed persistent pool.
+// ulogPool hands out slots from the fixed persistent pool. Claims are
+// lock-free CASes on per-stripe busy words; mu and cond exist only for
+// the block-when-all-64-are-armed fallback, which no realistic writer
+// count reaches.
 type ulogPool struct {
-	mu   sync.Mutex
-	cond *sync.Cond
-	busy uint64
+	mu      sync.Mutex
+	cond    *sync.Cond
+	waiters atomic.Int32
+	busy    [NumStripes]atomic.Uint64 // low ulogsPerStripe bits per word
+	// slots are the preallocated handles, one per pool slot, filled in by
+	// newAllocator: a claim hands out &slots[idx] instead of allocating,
+	// keeping the logged update path heap-free. Exclusive ownership
+	// between claim and Reclaim makes the sharing safe.
+	slots [NumUpdateLogs]ULog
 }
 
-// GetUpdateLog claims a free update-log slot, blocking if all
-// NumUpdateLogs slots are in flight (which cannot happen with fewer than
-// 65 concurrent writers).
+// GetUpdateLog claims a free update-log slot under the pool mutex — the
+// serialised claim path kept for callers with no stripe affinity and as
+// the measurable legacy baseline (core.Options.LegacyWritePath). It blocks
+// if all NumUpdateLogs slots are in flight.
 func (a *Allocator) GetUpdateLog() *ULog {
 	p := &a.ulogs
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	p.waiters.Add(1)
+	defer p.waiters.Add(-1)
 	for {
-		for i := 0; i < NumUpdateLogs; i++ {
-			if p.busy&(1<<uint(i)) == 0 {
-				p.busy |= 1 << uint(i)
-				return &ULog{a: a, idx: i, base: a.ulogAddr(i)}
-			}
+		if u := a.tryClaimULog(0); u != nil {
+			return u
 		}
 		p.cond.Wait()
 	}
+}
+
+// GetUpdateLogStriped claims a free update-log slot with a lock-free CAS,
+// preferring the stripe's own partition and scanning the siblings when it
+// is dry. Only when every slot in the pool is armed does it fall back to
+// blocking on the pool condition.
+func (a *Allocator) GetUpdateLogStriped(stripe int) *ULog {
+	stripe &= NumStripes - 1
+	if u := a.tryClaimULog(stripe); u != nil {
+		return u
+	}
+	p := &a.ulogs
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.waiters.Add(1)
+	defer p.waiters.Add(-1)
+	for {
+		if u := a.tryClaimULog(stripe); u != nil {
+			return u
+		}
+		p.cond.Wait()
+	}
+}
+
+// tryClaimULog CAS-claims the lowest free slot, scanning stripes starting
+// at start. Returns nil when all 64 slots are busy.
+func (a *Allocator) tryClaimULog(start int) *ULog {
+	for off := 0; off < NumStripes; off++ {
+		s := (start + off) & (NumStripes - 1)
+		w := &a.ulogs.busy[s]
+		for {
+			cur := w.Load()
+			free := ^cur & ulogStripeMask
+			if free == 0 {
+				break
+			}
+			bit := free & -free
+			if w.CompareAndSwap(cur, cur|bit) {
+				return &a.ulogs.slots[s*ulogsPerStripe+bits.TrailingZeros64(bit)]
+			}
+		}
+	}
+	return nil
 }
 
 // ulogAddr returns the PM base address of update-log slot i.
@@ -92,7 +155,8 @@ func (u *ULog) SetPNewV(p pmem.Ptr) {
 }
 
 // Reclaim disarms the log (Algorithm 3 line 11) and returns the slot to
-// the pool.
+// the pool with a single atomic clear; the pool mutex is touched only
+// when a claimant is actually blocked.
 func (u *ULog) Reclaim() {
 	ar := u.a.arena
 	ar.WritePtr(u.base+ulogPNewVOff, pmem.Nil)
@@ -100,10 +164,17 @@ func (u *ULog) Reclaim() {
 	ar.WritePtr(u.base+ulogPLeafOff, pmem.Nil)
 	ar.Persist(u.base, ulogSlotSize)
 	p := &u.a.ulogs
-	p.mu.Lock()
-	p.busy &^= 1 << uint(u.idx)
-	p.cond.Signal()
-	p.mu.Unlock()
+	s, bit := u.idx/ulogsPerStripe, uint64(1)<<uint(u.idx%ulogsPerStripe)
+	p.busy[s].And(^bit)
+	// A waiter registers (waiters++) before re-scanning the busy words, so
+	// if the load below sees no waiter, any future waiter will see the
+	// cleared bit; if it sees one, the lock/broadcast pair cannot run
+	// before the waiter is parked in Wait (which releases mu).
+	if p.waiters.Load() > 0 {
+		p.mu.Lock()
+		p.cond.Broadcast()
+		p.mu.Unlock()
+	}
 }
 
 // UpdateLogState is a snapshot of one armed update log for recovery.

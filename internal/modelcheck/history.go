@@ -38,9 +38,9 @@ type Op struct {
 	Kind OpKind
 	// Key and Value parameterise Put; Key alone parameterises Delete.
 	Key, Value []byte
-	// Batch holds PutBatch records (distinct keys: a duplicate key's
-	// apply order within one batch is unspecified, which would make
-	// persist sequences differ between replays).
+	// Batch holds PutBatch records. Duplicate keys are allowed: PutBatch
+	// sorts stably, so duplicates apply in submission order and replays
+	// persist identically.
 	Batch []core.Record
 	// Start and End bound Scan/ScanReverse (nil = unbounded).
 	Start, End []byte
@@ -109,8 +109,8 @@ func Generate(r *rand.Rand, n int) History {
 				Kind: OpDelete,
 				Key:  keyUniverse[r.Intn(len(keyUniverse))],
 			})
-		case p < 85: // Batch of 2..4 distinct keys
-			nrec := 2 + r.Intn(3)
+		case p < 85: // Batch of 2..8 distinct keys, spanning several shards
+			nrec := 2 + r.Intn(7)
 			seen := map[string]bool{}
 			var recs []core.Record
 			for len(recs) < nrec {
@@ -198,7 +198,7 @@ func FromBytes(data []byte) History {
 			if !ok1 {
 				return h
 			}
-			nrec := 2 + int(nb)%3
+			nrec := 2 + int(nb)%7
 			seen := map[string]bool{}
 			var recs []core.Record
 			for i := 0; i < nrec; i++ {

@@ -110,7 +110,9 @@ func legalStates(pre model, op Op) []model {
 	case OpBatch:
 		recs := make([]core.Record, len(op.Batch))
 		copy(recs, op.Batch)
-		sort.Slice(recs, func(i, j int) bool { return bytes.Compare(recs[i].Key, recs[j].Key) < 0 })
+		// Stable, like PutBatch itself, so duplicate keys enumerate their
+		// prefix states in submission order.
+		sort.SliceStable(recs, func(i, j int) bool { return bytes.Compare(recs[i].Key, recs[j].Key) < 0 })
 		cur := pre
 		for _, r := range recs {
 			cur = cur.clone()

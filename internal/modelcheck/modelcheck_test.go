@@ -93,6 +93,59 @@ func TestModelCheckMixedWorstCase(t *testing.T) {
 	}
 }
 
+// TestModelCheckBigMultiShardBatch sweeps a history whose batches span
+// every hash-directory shard of the key universe at once — the batched
+// write path's grouped allocation, coalesced bit commits and single
+// publication cross several groups per call — including a duplicate key
+// (insert then update inside one batch) and an update-heavy follow-up
+// batch, with re-entrant recovery.
+func TestModelCheckBigMultiShardBatch(t *testing.T) {
+	var big []core.Record
+	for i, k := range keyUniverse {
+		big = append(big, core.Record{Key: k, Value: []byte{byte('A' + i), 2}})
+	}
+	// Duplicate of a key inserted earlier in the same batch: the second
+	// record must update the first one's uncommitted leaf.
+	big = append(big, core.Record{Key: keyUniverse[2], Value: []byte("dupwins")})
+
+	hist := History{Ops: []Op{
+		{Kind: OpBatch, Batch: big}, // all inserts, one per shard
+		{Kind: OpBatch, Batch: []core.Record{ // updates + inserts interleaved
+			{Key: []byte("aa"), Value: []byte("u1")},
+			{Key: []byte("aanew"), Value: []byte("n1")},
+			{Key: []byte("aab"), Value: []byte("u2")},
+			{Key: []byte("ba"), Value: []byte("u3")},
+			{Key: []byte("banew"), Value: []byte("n2")},
+		}},
+		{Kind: OpScan},
+		{Kind: OpDelete, Key: keyUniverse[0]},
+		{Kind: OpBatch, Batch: []core.Record{ // re-insert + pure updates
+			{Key: keyUniverse[0], Value: []byte("back")},
+			{Key: []byte("ca"), Value: []byte("u4")},
+		}},
+	}}
+	for _, legacy := range []bool{false, true} {
+		if err := RunHistory(hist, Config{LegacyWritePath: legacy, ReentrantRecovery: !*quick}); err != nil {
+			t.Fatalf("legacy=%v: %v", legacy, err)
+		}
+	}
+}
+
+// TestModelCheckLegacyWritePath sweeps seeded histories against the
+// pre-striping baseline write path, so both sides of the write-path
+// comparison stay crash-consistent.
+func TestModelCheckLegacyWritePath(t *testing.T) {
+	seeds, ops := quickParams()
+	if *quick {
+		seeds = 2 // the baseline shares most code with pre-striping PRs
+	}
+	for seed := 0; seed < seeds; seed++ {
+		if err := RunSeed(int64(2000+seed), ops, Config{LegacyWritePath: true, ReentrantRecovery: true}); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
 // TestFromBytesTotal checks the fuzz decoder is total and its histories
 // replay deterministically through the live differential pass.
 func TestFromBytesTotal(t *testing.T) {

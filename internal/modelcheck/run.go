@@ -17,6 +17,11 @@ type Config struct {
 	// UnloggedUpdates selects the store's unlogged update mechanism, so
 	// the sweep covers both Algorithm 3 and the paper's measured variant.
 	UnloggedUpdates bool
+	// LegacyWritePath selects the store's pre-striping write path
+	// (stripe-0 allocation, serialised micro-log pool, per-key batch
+	// publication), so the sweep covers the baseline as well as the
+	// striped default.
+	LegacyWritePath bool
 	// ReentrantRecovery additionally sweeps every persist boundary of
 	// recovery itself at every crash point (assertion (c)).
 	ReentrantRecovery bool
@@ -37,7 +42,12 @@ func (c Config) withDefaults() Config {
 }
 
 func (c Config) options() core.Options {
-	return core.Options{ArenaSize: c.ArenaSize, Tracking: true, UnloggedUpdates: c.UnloggedUpdates}
+	return core.Options{
+		ArenaSize:       c.ArenaSize,
+		Tracking:        true,
+		UnloggedUpdates: c.UnloggedUpdates,
+		LegacyWritePath: c.LegacyWritePath,
+	}
 }
 
 // RunSeed generates a history from seed and checks it.

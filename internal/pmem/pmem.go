@@ -479,11 +479,19 @@ func (a *Arena) DisarmCrash() { a.failAfter.Store(-1) }
 // algorithm step it interrupted (CrashError.Site). Call sites pass short
 // static strings ("insert.value-bit", "delete.leaf-bit", ...). The label
 // is only recorded on Tracking arenas — crash injection requires Tracking
-// anyway — so production and benchmark arenas pay a single branch.
+// anyway — so production and benchmark arenas pay a single branch. The
+// store lives in a noinline helper: with it inlined here, escape analysis
+// heap-allocates the string header at every (inlined) call site even when
+// tracking is off, which showed up as most of Put's allocations.
 func (a *Arena) SetPersistSite(site string) {
 	if a.tracking {
-		a.site.Store(&site)
+		a.storePersistSite(site)
 	}
+}
+
+//go:noinline
+func (a *Arena) storePersistSite(site string) {
+	a.site.Store(&site)
 }
 
 // PersistSite returns the current persist-site label ("" if none).

@@ -1,0 +1,57 @@
+#!/bin/sh
+# benchdiff.sh OLD.json NEW.json [threshold-pct]
+#
+# Compares two path-comparison reports (BENCH_readpath.json or
+# BENCH_writepath.json — both carry a results[] array keyed by
+# mode/op/threads with ns_per_op) and flags every cell whose ns_per_op
+# regressed by more than the threshold (default 10%). Exits non-zero if
+# any cell regressed, so CI can gate on it:
+#
+#   go run ./cmd/hartbench -fig writepath -writepath-out /tmp/new.json
+#   scripts/benchdiff.sh BENCH_writepath.json /tmp/new.json
+set -eu
+
+if [ $# -lt 2 ]; then
+    echo "usage: $0 old.json new.json [threshold-pct]" >&2
+    exit 2
+fi
+
+OLD=$1 NEW=$2 PCT=${3:-10} python3 - <<'EOF'
+import json, os, sys
+
+pct = float(os.environ["PCT"])
+with open(os.environ["OLD"]) as f:
+    old = json.load(f)
+with open(os.environ["NEW"]) as f:
+    new = json.load(f)
+
+def cells(rep):
+    out = {}
+    for r in rep.get("results", []):
+        out[(r.get("mode", ""), r["op"], r["threads"])] = r["ns_per_op"]
+    return out
+
+before, after = cells(old), cells(new)
+regressed = 0
+for key in sorted(before):
+    mode, op, threads = key
+    if key not in after:
+        print(f"MISSING  {mode:8s} {op:12s} t{threads}: not in new report")
+        regressed += 1
+        continue
+    b, a = before[key], after[key]
+    delta = (a - b) / b * 100
+    flag = "ok"
+    if delta > pct:
+        flag = "REGRESSED"
+        regressed += 1
+    print(f"{flag:9s} {mode:8s} {op:12s} t{threads}: {b:9.1f} -> {a:9.1f} ns/op ({delta:+.1f}%)")
+for key in sorted(set(after) - set(before)):
+    mode, op, threads = key
+    print(f"new      {mode:8s} {op:12s} t{threads}: {after[key]:9.1f} ns/op")
+
+if regressed:
+    print(f"\n{regressed} cell(s) regressed more than {pct:.0f}%")
+    sys.exit(1)
+print(f"\nno regressions beyond {pct:.0f}%")
+EOF

@@ -17,3 +17,9 @@ go test -race -count=1 ./internal/core/ ./internal/hashdir/ ./internal/epalloc/
 # fuzz smoke over the byte-string history decoder.
 go test -count=1 ./internal/modelcheck/
 go test -run='^$' -fuzz=FuzzModelCheck -fuzztime=10s ./internal/modelcheck/
+
+# Write-path comparison harness, short and under the race detector: the
+# striped-vs-legacy benchmarks drive Put/PutBatch from parallel workers
+# over the striped allocator and micro-log pool, and the zero-alloc
+# assertions pin the Get/Put allocation-free claims.
+go test -race -count=1 -run 'WritePath' ./internal/bench/
