@@ -6,21 +6,23 @@
 //
 // Usage:
 //
-//	hartfsck /tmp/store.pm
+//	hartfsck [-workers N] /tmp/store.pm
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	hart "github.com/casl-sdsu/hart"
 )
 
 func main() {
+	workers := flag.Int("workers", 0, "recovery worker count (0 or 1 = serial)")
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: hartfsck <image-file>")
+		fmt.Fprintln(os.Stderr, "usage: hartfsck [-workers N] <image-file>")
 		os.Exit(2)
 	}
 	path := flag.Arg(0)
@@ -28,7 +30,7 @@ func main() {
 	if err != nil {
 		fail("read image: %v", err)
 	}
-	db, err := hart.Restore(img, hart.Options{CrashSimulation: true})
+	db, err := hart.Restore(img, hart.Options{CrashSimulation: true, RecoveryWorkers: *workers})
 	if err != nil {
 		fail("recovery: %v", err)
 	}
@@ -37,6 +39,12 @@ func main() {
 	rs := db.LastRecoveryStats()
 	fmt.Printf("  recovery: %d live leaves, %d update logs completed, %d stale slots zeroed, %d orphan values reclaimed\n",
 		rs.LiveLeaves, rs.CompletedULogs, rs.StaleSlotsZeroed, rs.OrphanValues)
+	fmt.Printf("  recovery phases (%d worker(s)): ulog replay %v, leaf scan %v, ART build %v, sweeps %v (build overlaps sweeps)\n",
+		rs.Workers,
+		time.Duration(rs.ULogNs).Round(time.Microsecond),
+		time.Duration(rs.ScanNs).Round(time.Microsecond),
+		time.Duration(rs.BuildNs).Round(time.Microsecond),
+		time.Duration(rs.SweepNs).Round(time.Microsecond))
 	fmt.Printf("  PM:   %.2f MB reserved of %.2f MB\n",
 		float64(st.Size.PMBytes)/(1<<20), float64(st.Arena.Capacity)/(1<<20))
 	for _, cs := range st.Alloc {

@@ -88,6 +88,18 @@ type Options struct {
 	// benchmark baseline for the write-path experiment; leave it unset
 	// in normal use.
 	LegacyWritePath bool
+	// RecoveryWorkers parallelises recovery's leaf scan, sweeps and ART
+	// rebuild across that many goroutines (0 or 1 = serial).
+	RecoveryWorkers int
+	// LazyRecovery defers per-shard ART builds out of Restore: the store
+	// serves traffic immediately after the scan and consistency sweeps,
+	// and each shard's ART is built on first touch or by DrainRecovery
+	// (typically started in the background right after Restore).
+	LazyRecovery bool
+	// LegacyRecovery restores the pre-pipeline serial-scan recovery. It
+	// exists as the benchmark baseline for the recovery experiment; leave
+	// it unset in normal use.
+	LegacyRecovery bool
 }
 
 // Record is one key-value pair for DB.PutBatch. The alias makes the
@@ -112,6 +124,9 @@ func (o Options) coreOptions() core.Options {
 		ValueClasses:    o.ValueClasses,
 		LockedReads:     o.LockedReads,
 		LegacyWritePath: o.LegacyWritePath,
+		RecoveryWorkers: o.RecoveryWorkers,
+		LazyRecovery:    o.LazyRecovery,
+		LegacyRecovery:  o.LegacyRecovery,
 	}
 	if o.PMWriteNs > 0 || o.PMReadNs > 0 {
 		opts.Latency = latency.Config{

@@ -1,0 +1,260 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	"github.com/casl-sdsu/hart/internal/core"
+	"github.com/casl-sdsu/hart/internal/pmem"
+	"github.com/casl-sdsu/hart/internal/workload"
+)
+
+// Recovery experiment (Fig. 10c's recovery side, extended): how fast a
+// HART image becomes usable again after a restart. Three questions, one
+// per measured op:
+//
+//	open        — wall time of Open itself (replay + scan + sweeps, and
+//	              for eager modes the whole index rebuild);
+//	first-read  — open plus the first Get (for lazy recovery this pays
+//	              exactly one shard's first-touch build);
+//	full        — time until the whole index is built: open for eager
+//	              modes, open + DrainRecovery for lazy.
+//
+// Modes: "legacy" is the pre-pipeline serial path (Options.LegacyRecovery),
+// "eager" the pipelined path at each worker count, "lazy" the deferred
+// per-shard rebuild at the highest worker count. Latency injection is off:
+// the experiment isolates the index-rebuild cost, which dominates recovery
+// (the PM reads are identical across modes). NumCPU is recorded because
+// worker scaling needs cores; on a single-core host the eager speedup is
+// algorithmic only (single key read, no per-leaf locking, batch ART
+// builds, bulk directory construction).
+
+// RecoveryResult is one measured cell, shaped like the read/write-path
+// rows so scripts/benchdiff.sh can gate it: (mode, op, threads) → ns.
+type RecoveryResult struct {
+	// Mode is "legacy", "eager" or "lazy".
+	Mode string `json:"mode"`
+	// Op is "open", "first-read" or "full".
+	Op string `json:"op"`
+	// Threads is the recovery worker count.
+	Threads int `json:"threads"`
+	// NsPerOp is the best-of-reps wall time of the op in nanoseconds.
+	NsPerOp float64 `json:"ns_per_op"`
+	// Millis is the same figure in milliseconds, for reading.
+	Millis float64 `json:"millis"`
+}
+
+// RecoveryReport is the BENCH_recovery.json document.
+type RecoveryReport struct {
+	// Records is the recovered record count; ValueSize its payload bytes.
+	Records   int `json:"records"`
+	ValueSize int `json:"value_size"`
+	// NumCPU records the machine's parallelism so the worker-scaling rows
+	// can be read in context.
+	NumCPU  int              `json:"num_cpu"`
+	Results []RecoveryResult `json:"results"`
+	// SpeedupFull maps "w<workers>" to legacy-serial full ÷ eager full.
+	SpeedupFull map[string]float64 `json:"speedup_full"`
+	// LazyFirstReadSpeedup is eager full (max workers) ÷ lazy first-read:
+	// how much sooner the store answers its first query.
+	LazyFirstReadSpeedup float64 `json:"lazy_first_read_speedup"`
+}
+
+// recoveryArenaSize sizes the arena tightly enough that a million-record
+// store fits comfortably without a half-gigabyte image: leaves cost ~41 B
+// and 8-byte values ~9 B after chunk amortisation.
+func recoveryArenaSize(n int) int64 {
+	return int64(n)*128 + (32 << 20)
+}
+
+// buildRecoveryImage creates a store, loads it and returns its durable
+// image plus the loaded keys (deletes punch ~2% dead slots so recovery's
+// sweeps have real work).
+func buildRecoveryImage(c Config) ([]byte, [][]byte, error) {
+	h, err := core.New(core.Options{
+		ArenaSize:       recoveryArenaSize(c.Records),
+		UnloggedUpdates: true,
+		Tracking:        true, // DurableImage needs the tracked arena
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	defer h.Close()
+	keys := workload.Random(c.Records, c.Seed)
+	val := make([]byte, c.ValueSize)
+	for i := range val {
+		val[i] = byte('a' + i%26)
+	}
+	const batch = 4096
+	recs := make([]core.Record, 0, batch)
+	for i, k := range keys {
+		recs = append(recs, core.Record{Key: k, Value: val})
+		if len(recs) == batch || i == len(keys)-1 {
+			if _, err := h.PutBatch(recs); err != nil {
+				return nil, nil, err
+			}
+			recs = recs[:0]
+		}
+	}
+	live := keys[:0]
+	for i, k := range keys {
+		if i%50 == 0 {
+			if err := h.Delete(k); err != nil {
+				return nil, nil, err
+			}
+			continue
+		}
+		live = append(live, k)
+	}
+	img, err := h.Arena().DurableImage()
+	if err != nil {
+		return nil, nil, err
+	}
+	return img, live, nil
+}
+
+// timeRecovery opens one private copy of the image under opts and times
+// open, first read and (via drain) full build. It also spot-checks the
+// recovered contents so a mode that diverged can never report a win.
+func timeRecovery(img []byte, keys [][]byte, val []byte, opts core.Options) (tOpen, tFirst, tFull time.Duration, err error) {
+	arena, err := pmem.Attach(append([]byte(nil), img...), pmem.Config{Size: int64(len(img))})
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	start := time.Now()
+	h, err := core.Open(arena, opts)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	tOpen = time.Since(start)
+	probe := keys[len(keys)/2]
+	v, ok := h.Get(probe)
+	tFirst = time.Since(start)
+	if !ok || !bytes.Equal(v, val) {
+		return 0, 0, 0, fmt.Errorf("bench: recovered store lost %q", probe)
+	}
+	h.DrainRecovery()
+	tFull = time.Since(start)
+
+	if h.Len() != len(keys) {
+		return 0, 0, 0, fmt.Errorf("bench: recovered Len = %d, want %d", h.Len(), len(keys))
+	}
+	stride := len(keys)/1000 + 1
+	for i := 0; i < len(keys); i += stride {
+		if v, ok := h.Get(keys[i]); !ok || !bytes.Equal(v, val) {
+			return 0, 0, 0, fmt.Errorf("bench: recovered store lost %q", keys[i])
+		}
+	}
+	h.Close()
+	return tOpen, tFirst, tFull, nil
+}
+
+// RunRecovery measures the recovery comparison and returns the report.
+func RunRecovery(c Config) (*RecoveryReport, error) {
+	c = c.WithDefaults()
+	fmt.Fprintf(c.Out, "recovery: building %d-record image...\n", c.Records)
+	img, keys, err := buildRecoveryImage(c)
+	if err != nil {
+		return nil, err
+	}
+	val := make([]byte, c.ValueSize)
+	for i := range val {
+		val[i] = byte('a' + i%26)
+	}
+
+	workerSweep := c.PathThreads
+	if len(workerSweep) == 0 {
+		workerSweep = []int{1, 4, 8}
+	}
+	maxW := workerSweep[len(workerSweep)-1]
+
+	type modeCfg struct {
+		mode    string
+		workers int
+		opts    core.Options
+	}
+	modes := []modeCfg{{"legacy", 1, core.Options{LegacyRecovery: true, RecoveryWorkers: 1}}}
+	for _, w := range workerSweep {
+		modes = append(modes, modeCfg{"eager", w, core.Options{RecoveryWorkers: w}})
+	}
+	modes = append(modes, modeCfg{"lazy", maxW, core.Options{LazyRecovery: true, RecoveryWorkers: maxW}})
+
+	rep := &RecoveryReport{
+		Records:     len(keys),
+		ValueSize:   c.ValueSize,
+		NumCPU:      runtime.NumCPU(),
+		SpeedupFull: map[string]float64{},
+	}
+	const reps = 3
+	var legacyFull, lazyFirst float64
+	eagerFull := map[int]float64{}
+	for _, m := range modes {
+		var bOpen, bFirst, bFull time.Duration
+		for r := 0; r < reps; r++ {
+			fmt.Fprintf(c.Out, "recovery: %s workers=%d rep %d/%d...\n", m.mode, m.workers, r+1, reps)
+			tOpen, tFirst, tFull, err := timeRecovery(img, keys, val, m.opts)
+			if err != nil {
+				return nil, err
+			}
+			if r == 0 || tOpen < bOpen {
+				bOpen = tOpen
+			}
+			if r == 0 || tFirst < bFirst {
+				bFirst = tFirst
+			}
+			if r == 0 || tFull < bFull {
+				bFull = tFull
+			}
+		}
+		for _, cell := range []struct {
+			op string
+			d  time.Duration
+		}{{"open", bOpen}, {"first-read", bFirst}, {"full", bFull}} {
+			rep.Results = append(rep.Results, RecoveryResult{
+				Mode:    m.mode,
+				Op:      cell.op,
+				Threads: m.workers,
+				NsPerOp: float64(cell.d.Nanoseconds()),
+				Millis:  float64(cell.d.Nanoseconds()) / 1e6,
+			})
+		}
+		switch m.mode {
+		case "legacy":
+			legacyFull = float64(bFull.Nanoseconds())
+		case "eager":
+			eagerFull[m.workers] = float64(bFull.Nanoseconds())
+			rep.SpeedupFull[fmt.Sprintf("w%d", m.workers)] = legacyFull / float64(bFull.Nanoseconds())
+		case "lazy":
+			lazyFirst = float64(bFirst.Nanoseconds())
+		}
+	}
+	if full, ok := eagerFull[maxW]; ok && lazyFirst > 0 {
+		rep.LazyFirstReadSpeedup = full / lazyFirst
+	}
+	return rep, nil
+}
+
+// WriteJSON writes the report as indented JSON.
+func (r *RecoveryReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// FprintTable renders the report for the terminal.
+func (r *RecoveryReport) FprintTable(w io.Writer) {
+	fmt.Fprintf(w, "\n== Recovery: legacy vs pipelined vs lazy (records=%d, value=%dB, NumCPU=%d) ==\n",
+		r.Records, r.ValueSize, r.NumCPU)
+	fmt.Fprintf(w, "%-8s %-12s %-8s %12s\n", "mode", "op", "workers", "ms")
+	for _, res := range r.Results {
+		fmt.Fprintf(w, "%-8s %-12s %-8d %12.2f\n", res.Mode, res.Op, res.Threads, res.Millis)
+	}
+	for _, k := range sortedKeys(r.SpeedupFull) {
+		fmt.Fprintf(w, "speedup full %s: %.2fx vs legacy serial\n", k, r.SpeedupFull[k])
+	}
+	fmt.Fprintf(w, "lazy first read: %.1fx sooner than eager full build\n", r.LazyFirstReadSpeedup)
+}

@@ -1,0 +1,73 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestRunRecoverySmoke runs the full recovery comparison at toy scale and
+// checks the report's shape: every mode × op cell present with positive
+// times, the speedup fields filled, and the JSON round-trippable. The
+// timed opens inside also spot-check recovered contents, so this doubles
+// as an end-to-end correctness pass over legacy, eager and lazy recovery.
+func TestRunRecoverySmoke(t *testing.T) {
+	c := Config{Records: 3000, PathThreads: []int{1, 4}}.WithDefaults()
+	c.Out = nil
+	rep, err := RunRecovery(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ~2% of the records are deleted while building the image.
+	if rep.Records <= 0 || rep.Records >= 3000 {
+		t.Fatalf("live records = %d, want in (0, 3000)", rep.Records)
+	}
+	if rep.NumCPU <= 0 {
+		t.Fatalf("NumCPU = %d", rep.NumCPU)
+	}
+	// (legacy + eager×2 + lazy) modes × (open, first-read, full).
+	if len(rep.Results) != 12 {
+		t.Fatalf("results = %d, want 12", len(rep.Results))
+	}
+	cells := map[string]bool{}
+	for _, r := range rep.Results {
+		if r.NsPerOp <= 0 || r.Millis <= 0 {
+			t.Fatalf("non-positive cell: %+v", r)
+		}
+		cells[r.Mode+"/"+r.Op] = true
+	}
+	for _, mode := range []string{"legacy", "eager", "lazy"} {
+		for _, op := range []string{"open", "first-read", "full"} {
+			if !cells[mode+"/"+op] {
+				t.Fatalf("missing cell %s/%s", mode, op)
+			}
+		}
+	}
+	if rep.SpeedupFull["w1"] <= 0 || rep.SpeedupFull["w4"] <= 0 {
+		t.Fatalf("speedup_full missing: %v", rep.SpeedupFull)
+	}
+	if rep.LazyFirstReadSpeedup <= 0 {
+		t.Fatalf("lazy_first_read_speedup = %v", rep.LazyFirstReadSpeedup)
+	}
+
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back RecoveryReport
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Results) != len(rep.Results) {
+		t.Fatal("JSON round trip lost results")
+	}
+
+	var tbl bytes.Buffer
+	rep.FprintTable(&tbl)
+	for _, want := range []string{"legacy", "eager", "lazy", "first-read", "speedup full w4", "lazy first read"} {
+		if !strings.Contains(tbl.String(), want) {
+			t.Fatalf("table missing %q:\n%s", want, tbl.String())
+		}
+	}
+}

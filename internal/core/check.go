@@ -29,6 +29,9 @@ func (h *HART) Check() error {
 	if err := h.alloc.CheckQuiescent(); err != nil {
 		return err
 	}
+	// A lazily recovered index is consistent but not yet comparable (the
+	// pending shards' trees are empty); finish the builds first.
+	h.DrainRecovery()
 
 	// PM side: committed leaves, and the stale value references of dead
 	// leaf slots (the reclaimable set).

@@ -122,6 +122,22 @@ type Options struct {
 	// many goroutines, partitioned by hash key (0 or 1 = the paper's
 	// serial recovery).
 	RecoveryWorkers int
+	// LazyRecovery defers the per-shard ART builds out of Open: recovery
+	// completes after the update-log replay, leaf scan and consistency
+	// sweeps, publishing a directory whose shards hold pending leaf lists
+	// instead of trees. A shard's ART is built on its first locked touch,
+	// or by DrainRecovery, which callers typically start in the background
+	// right after Open. Time-to-first-read becomes nearly independent of
+	// store size; durable state is untouched by the deferred builds, so a
+	// crash mid-drain recovers exactly like a crash before it.
+	LazyRecovery bool
+	// LegacyRecovery disables the pipelined recovery and restores the
+	// pre-pipeline path: one serial IterateObjects pass per class, a
+	// global live-value map, per-leaf directory locking and a second PM
+	// key read per leaf on the parallel rebuild. It exists as the
+	// measurable "before" baseline for the recovery benchmarks
+	// (BENCH_recovery.json); leave it unset otherwise.
+	LegacyRecovery bool
 	// UnloggedUpdates selects the update mechanism the paper *measured*
 	// (Section IV.B: "a pointer to that new value is updated as the last
 	// step") instead of the full Algorithm 3 micro-log. It is roughly
@@ -198,6 +214,20 @@ type artShard struct {
 	// mu (the lock-free path never reads it — it revalidates through a
 	// fresh directory snapshot instead).
 	dead bool
+	// pending, when non-nil, holds the shard's leaf list from a lazy
+	// recovery (Options.LazyRecovery): the published tree is empty and
+	// must not be consulted until the first-touch build stores the real
+	// tree and clears pending — in that order, so pending == nil implies
+	// the tree is complete. Transitions non-nil → nil exactly once, under
+	// mu held exclusively. Optimistic readers treat a non-nil pending as
+	// inconclusive and fall back to the locked path, which builds.
+	pending atomic.Pointer[pendingLeaves]
+}
+
+// pendingLeaves is a lazily recovered shard's to-do list: the live leaves
+// the recovery scan assigned to it, awaiting the first-touch ART build.
+type pendingLeaves struct {
+	leaves []pmem.Ptr
 }
 
 // newShard returns a live shard with an empty published tree.
@@ -232,6 +262,11 @@ type HART struct {
 
 	size   atomic.Int64
 	closed atomic.Bool
+
+	// pendingShards counts shards still awaiting their lazy-recovery
+	// first-touch build. Advisory (DrainRecovery rescans the directory);
+	// lets PendingShards and the drain's fast path skip the scan.
+	pendingShards atomic.Int64
 
 	// recoveryStats records what the most recent recover() did; written
 	// only during recovery (single-threaded), read via LastRecoveryStats.
@@ -439,6 +474,9 @@ func (h *HART) lockShardW(hashKey []byte, create bool) *artShard {
 		}
 		s.mu.Lock()
 		if !s.dead {
+			if s.pending.Load() != nil {
+				h.buildPending(s)
+			}
 			return s
 		}
 		s.mu.Unlock()
@@ -462,6 +500,12 @@ func (h *HART) lockShardR(hashKey []byte) *artShard {
 		}
 		if s == nil {
 			return nil
+		}
+		if s.pending.Load() != nil {
+			// Lazily recovered shard not yet built: upgrade to the write
+			// lock for the first-touch build, then retry the read lock.
+			h.drainShard(s)
+			continue
 		}
 		s.mu.RLock()
 		if !s.dead {

@@ -275,6 +275,12 @@ func (h *HART) readOptimistic(hashKey, artKey, dst []byte, needValue bool) (v []
 	if !ok {
 		return nil, false, true
 	}
+	if s.pending.Load() != nil {
+		// Lazily recovered shard whose ART is not built yet: the published
+		// tree is empty, so a miss would be wrong. Inconclusive — the
+		// locked fallback performs the first-touch build.
+		return nil, false, false
+	}
 	v0 := s.seq.Load()
 	if v0&1 != 0 {
 		return nil, false, false

@@ -1,12 +1,17 @@
 package core
 
 import (
+	"bytes"
 	"fmt"
+	"slices"
+	"sort"
 	"sync"
+	"sync/atomic"
+	"time"
 
-	"github.com/casl-sdsu/hart/internal/hashdir"
-
+	"github.com/casl-sdsu/hart/internal/art"
 	"github.com/casl-sdsu/hart/internal/epalloc"
+	"github.com/casl-sdsu/hart/internal/hashdir"
 	"github.com/casl-sdsu/hart/internal/pmem"
 )
 
@@ -17,11 +22,43 @@ import (
 // Recovery is much faster than rebuilding from scratch because leaves and
 // values are already on PM: only hash-directory entries and ART internal
 // nodes are created, and no PM write happens for the common case.
+//
+// The path is a pipeline of four phases (see DESIGN.md §11):
+//
+//  1. Update-log replay — serial; must precede everything so the leaves'
+//     value pointers are final.
+//  2. Leaf scan — the allocator's stripes walked by up to RecoveryWorkers
+//     goroutines, each collecting its stripes' live leaves (with their
+//     keys, read from PM exactly once), live value references and dead
+//     slots into per-stripe sets; no shared map is touched.
+//  3. Bulk rebuild — workers partitioned by hash key sort their leaves
+//     and build whole ARTs with a one-clone-per-node batch insert into a
+//     private, unpublished directory (or, under Options.LazyRecovery,
+//     merely record per-shard pending leaf lists). Purely volatile, so it
+//     overlaps phase 4.
+//  4. Consistency sweeps — the stale-reference and orphan-value scans fan
+//     out per stripe, but every PM write they decide on is applied by
+//     this goroutine in stripe order: recovery's persist sequence stays
+//     deterministic at any worker count (the property the differential
+//     crash checker replays against), and an injected crash always
+//     surfaces on the caller.
+//
+// The directory and the size counter are published once at the end, so a
+// Rebuild on a live store never exposes a partially rebuilt index.
 func (h *HART) recover() error {
+	if h.opts.LegacyRecovery {
+		return h.recoverLegacy()
+	}
 	var stats RecoveryStats
+	workers := h.opts.RecoveryWorkers
+	if workers < 1 {
+		workers = 1
+	}
+	stats.Workers = workers
+	stats.Lazy = h.opts.LazyRecovery
 
-	// 1. Update-log recovery. Must run before the index is rebuilt so the
-	// leaves' value pointers are final when the trees are populated.
+	// Phase 1: update-log replay.
+	t := time.Now()
 	h.arena.SetPersistSite("recover.ulog")
 	for _, ul := range h.alloc.PendingUpdateLogs() {
 		if err := h.recoverUpdate(ul); err != nil {
@@ -30,94 +67,458 @@ func (h *HART) recover() error {
 		h.alloc.ResetUpdateLogAt(ul.Index)
 		stats.CompletedULogs++
 	}
+	stats.ULogNs = time.Since(t).Nanoseconds()
 
-	// 2. Rebuild the directory and ARTs by walking every leaf chunk
-	// (Algorithm 7 lines 2-6): only leaves whose bit is set are alive.
-	// Along the way, collect the live value references and the dead leaf
-	// slots for the stale-reference sweep below.
-	//
-	// With RecoveryWorkers > 1 the rebuild runs in parallel: recovery is
-	// embarrassingly parallel across ARTs because the hash key of a leaf
-	// fully determines its shard, so workers partition leaves by hash key
-	// and never contend on a tree. (An extension beyond the paper's
-	// single-threaded Algorithm 7; disabled by default.)
-	liveVals := make(map[pmem.Ptr]bool)
-	var deadSlots []pmem.Ptr
-	var liveLeaves []pmem.Ptr
-	err := h.alloc.IterateObjects(classLeaf, func(leaf pmem.Ptr, used bool) bool {
+	// Phase 2: parallel leaf scan (Algorithm 7 lines 2-6).
+	t = time.Now()
+	scan, err := h.scanLeaves(workers)
+	if err != nil {
+		return err
+	}
+	stats.LiveLeaves = scan.live
+	stats.ScanNs = time.Since(t).Nanoseconds()
+
+	// Phase 3: launch the builders; they run concurrently with phase 4's
+	// sweeps (volatile builds and PM sweeps touch disjoint state).
+	t = time.Now()
+	parts := make([][]builtShard, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			parts[w] = h.buildPartition(scan.partition(w))
+		}(w)
+	}
+
+	// Phase 4: consistency sweeps, PM writes serial on this goroutine.
+	ts := time.Now()
+	sweepErr := h.sweepStaleAndOrphans(scan, workers, &stats)
+	stats.SweepNs = time.Since(ts).Nanoseconds()
+	wg.Wait()
+	stats.BuildNs = time.Since(t).Nanoseconds() // includes the sweep overlap
+	if sweepErr != nil {
+		return sweepErr
+	}
+
+	// Publish: one atomic store each for the directory and the size, so
+	// concurrent readers see the old index or the complete new one.
+	total := 0
+	for _, p := range parts {
+		total += len(p)
+	}
+	all := make([]builtShard, 0, total)
+	for _, p := range parts {
+		all = append(all, p...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].hk < all[j].hk })
+	keys := make([]string, len(all))
+	shards := make([]*artShard, len(all))
+	for i, bs := range all {
+		keys[i] = bs.hk
+		shards[i] = bs.s
+	}
+	dir := hashdir.NewFromSorted(keys, shards)
+	h.dirMu.Lock()
+	h.dir.Store(dir)
+	h.dirMu.Unlock()
+	h.size.Store(int64(scan.live))
+	if h.opts.LazyRecovery {
+		stats.PendingShards = len(all)
+	}
+	h.pendingShards.Store(int64(stats.PendingShards))
+	h.recoveryStats = stats
+	return nil
+}
+
+// recLeaf is one live leaf carried through recovery's partition: the key
+// is read from PM once, during the scan, and reused for partitioning,
+// sorting and tree building. Under LazyRecovery only the hash-key prefix
+// is read (and stored here); the full key read is deferred to the shard's
+// first-touch build.
+type recLeaf struct {
+	leaf pmem.Ptr
+	key  []byte
+}
+
+// deadSlot is an unused leaf slot whose stale value word needs scrubbing.
+type deadSlot struct {
+	leaf pmem.Ptr
+	vp   pmem.Ptr
+}
+
+// byteArena hands out small byte slices carved from large blocks, so a
+// million leaf keys cost a handful of allocations instead of one each.
+type byteArena struct{ buf []byte }
+
+func (a *byteArena) alloc(n int) []byte {
+	if len(a.buf)+n > cap(a.buf) {
+		block := 1 << 16
+		if n > block {
+			block = n
+		}
+		a.buf = make([]byte, 0, block)
+	}
+	b := a.buf[len(a.buf) : len(a.buf)+n : len(a.buf)+n]
+	a.buf = a.buf[:len(a.buf)+n]
+	return b
+}
+
+// stripeScan is one stripe's share of the leaf scan. Each stripe is
+// walked by exactly one goroutine, so none of this needs locking; the
+// coordinator merges the stripes in index order, which keeps every
+// derived sequence (dead-slot sweep order, partition contents)
+// deterministic regardless of worker count.
+type stripeScan struct {
+	keys    byteArena
+	dead    []deadSlot
+	vals    []pmem.Ptr
+	buckets [][]recLeaf // indexed by build worker
+	err     error
+}
+
+// leafScan is the merged result of the scan phase.
+type leafScan struct {
+	stripes [epalloc.NumStripes]stripeScan
+	valSet  []pmem.Ptr // sorted live value references
+	live    int
+}
+
+// partition returns build worker w's leaves: the concatenation, in stripe
+// order, of every stripe's bucket for w. Leaves of one hash key always
+// share a partition (the bucket index is a hash of the hash key), so
+// build workers never touch the same shard.
+func (sc *leafScan) partition(w int) []recLeaf {
+	n := 0
+	for st := range sc.stripes {
+		n += len(sc.stripes[st].buckets[w])
+	}
+	out := make([]recLeaf, 0, n)
+	for st := range sc.stripes {
+		out = append(out, sc.stripes[st].buckets[w]...)
+	}
+	return out
+}
+
+// scanLeaves walks every leaf chunk with up to `workers` goroutines (one
+// per allocator stripe), collecting per-stripe live/dead sets and
+// partitioning the live leaves by hash key for the build phase. Each live
+// leaf's key is read exactly once; under LazyRecovery only the leading
+// hash-key bytes are read — for the default kh <= 7 that is a single
+// 8-byte load of the keyLen byte plus the first seven key bytes.
+func (h *HART) scanLeaves(workers int) (*leafScan, error) {
+	kh := h.opts.HashKeyLen
+	lazy := h.opts.LazyRecovery
+	sc := &leafScan{}
+	for st := range sc.stripes {
+		sc.stripes[st].buckets = make([][]recLeaf, workers)
+	}
+	err := h.alloc.IterateObjectsParallel(classLeaf, workers, func(st int, leaf pmem.Ptr, used bool) bool {
+		ss := &sc.stripes[st]
 		vp, _ := unpackValue(h.arena.Read8(leaf + lfPValue))
 		if !used {
 			if !vp.IsNil() {
-				deadSlots = append(deadSlots, leaf)
+				ss.dead = append(ss.dead, deadSlot{leaf: leaf, vp: vp})
 			}
 			return true
 		}
 		if !vp.IsNil() {
-			liveVals[vp] = true
+			ss.vals = append(ss.vals, vp)
 		}
-		liveLeaves = append(liveLeaves, leaf)
+		var key []byte
+		if lazy && kh <= 7 {
+			// keyLen and key[0..6] share one aligned word (leaf layout:
+			// +8 keyLen, +9 key; the arena is little-endian).
+			kw := h.arena.Read8(leaf + lfKeyLen)
+			n := int(kw & 0xff)
+			if n == 0 {
+				ss.err = fmt.Errorf("hart: recovery found live leaf %d with empty key", leaf)
+				return false
+			}
+			if n > kh {
+				n = kh
+			}
+			key = ss.keys.alloc(n)
+			for i := range key {
+				key[i] = byte(kw >> (8 * uint(i+1)))
+			}
+		} else {
+			n := int(h.arena.Read1(leaf + lfKeyLen))
+			if n == 0 {
+				ss.err = fmt.Errorf("hart: recovery found live leaf %d with empty key", leaf)
+				return false
+			}
+			if n > MaxKeyLen {
+				n = MaxKeyLen
+			}
+			if lazy && n > kh {
+				n = kh
+			}
+			key = ss.keys.alloc(n)
+			h.arena.ReadAt(leaf+lfKey, key)
+		}
+		hk := key
+		if len(hk) > kh {
+			hk = key[:kh]
+		}
+		w := int(fnv32(hk)) % workers
+		ss.buckets[w] = append(ss.buckets[w], recLeaf{leaf: leaf, key: key})
 		return true
 	})
 	if err != nil {
-		return err
+		return nil, err
 	}
-	stats.LiveLeaves = len(liveLeaves)
-	if err := h.rebuildIndex(liveLeaves); err != nil {
-		return err
+	nvals := 0
+	for st := range sc.stripes {
+		ss := &sc.stripes[st]
+		if ss.err != nil {
+			return nil, ss.err
+		}
+		nvals += len(ss.vals)
+		for _, b := range ss.buckets {
+			sc.live += len(b)
+		}
 	}
+	sc.valSet = make([]pmem.Ptr, 0, nvals)
+	for st := range sc.stripes {
+		sc.valSet = append(sc.valSet, sc.stripes[st].vals...)
+	}
+	slices.Sort(sc.valSet)
+	return sc, nil
+}
 
-	// 3. Stale-reference sweep: a dead leaf slot may still reference a
-	// value object — either a reclaimable orphan from an interrupted
-	// insertion/deletion (value bit set, value owned by nobody) or a
-	// harmless stale pointer. Reclaim the orphans and zero every stale
-	// word so that no later slot reuse can misinterpret an aliased,
-	// since-reallocated value slot (see Delete for the runtime side).
+// ptrSetHas reports membership in a sorted pointer slice.
+func ptrSetHas(set []pmem.Ptr, p pmem.Ptr) bool {
+	_, ok := slices.BinarySearch(set, p)
+	return ok
+}
+
+// builtShard is one rebuilt (or pending) shard awaiting publication.
+type builtShard struct {
+	hk string
+	s  *artShard
+}
+
+// buildPartition turns one worker's leaves into shards: one pass groups
+// by hash key and batch-inserts each record into its shard's private
+// tree — the batch clones nothing it already built, so this is an
+// in-place build (legal: the directory is unpublished), with no per-leaf
+// directory locking or size increment. Insertion order is irrelevant to
+// ART shape, so no sort is needed; the coordinator orders the finished
+// shards once for the bulk directory construction. Under LazyRecovery the
+// group becomes a pending leaf list and the tree build is deferred to the
+// shard's first touch.
+func (h *HART) buildPartition(recs []recLeaf) []builtShard {
+	if len(recs) == 0 {
+		return nil
+	}
+	kh := h.opts.HashKeyLen
+	lazy := h.opts.LazyRecovery
+	type shardBuild struct {
+		s     *artShard
+		batch *art.Batch
+		pend  []pmem.Ptr
+	}
+	byHK := make(map[string]*shardBuild)
+	out := make([]builtShard, 0, len(byHK))
+	for _, r := range recs {
+		hk := r.key
+		if len(hk) > kh {
+			hk = hk[:kh]
+		}
+		sb := byHK[string(hk)]
+		if sb == nil {
+			sb = &shardBuild{s: newShard()}
+			if !lazy {
+				sb.batch = art.New().BeginBatch()
+			}
+			byHK[string(hk)] = sb
+			out = append(out, builtShard{hk: string(hk), s: sb.s})
+		}
+		if lazy {
+			sb.pend = append(sb.pend, r.leaf)
+		} else {
+			var artKey []byte
+			if len(r.key) > kh {
+				artKey = r.key[kh:]
+			}
+			sb.batch.Insert(artKey, uint64(r.leaf))
+		}
+	}
+	for _, bs := range out {
+		sb := byHK[bs.hk]
+		if lazy {
+			sb.s.pending.Store(&pendingLeaves{leaves: sb.pend})
+		} else {
+			sb.s.tree.Store(sb.batch.Commit())
+		}
+	}
+	return out
+}
+
+// sweepStaleAndOrphans runs recovery's two PM-repair passes.
+//
+// Stale-reference sweep: a dead leaf slot may still reference a value
+// object — either a reclaimable orphan from an interrupted insertion or
+// deletion (value bit set, value owned by nobody) or a harmless stale
+// pointer. Reclaim the orphans and zero every stale word so that no later
+// slot reuse can misinterpret an aliased, since-reallocated value slot
+// (see Delete for the runtime side). The candidates were collected by the
+// scan phase; the writes land here, in stripe order.
+//
+// Orphan value sweep (mark-and-sweep): any committed value object
+// referenced by no live leaf and no dead slot is unreachable forever —
+// the residue of an unlogged update (Options.UnloggedUpdates) or of a
+// baseline-style crash window — and is reclaimed. The value-chunk walk
+// fans out per stripe; the releases land here, in class and stripe order.
+// With Algorithm 3 updates this finds nothing; either way, a recovered
+// HART starts leak-free.
+func (h *HART) sweepStaleAndOrphans(sc *leafScan, workers int, stats *RecoveryStats) error {
 	h.arena.SetPersistSite("recover.stale-sweep")
-	for _, leaf := range deadSlots {
-		vp, _ := unpackValue(h.arena.Read8(leaf + lfPValue))
-		if !vp.IsNil() && !liveVals[vp] {
-			if set, err := h.alloc.BitIsSet(vp); err == nil && set {
-				if err := h.alloc.ResetBit(vp); err != nil {
-					return err
-				}
-				if err := h.alloc.RecycleIfPresent(vp); err != nil {
-					return err
+	for st := range sc.stripes {
+		for _, d := range sc.stripes[st].dead {
+			if !ptrSetHas(sc.valSet, d.vp) {
+				if set, err := h.alloc.BitIsSet(d.vp); err == nil && set {
+					if err := h.alloc.ResetBit(d.vp); err != nil {
+						return err
+					}
+					if err := h.alloc.RecycleIfPresent(d.vp); err != nil {
+						return err
+					}
 				}
 			}
+			h.arena.Write8(d.leaf+lfPValue, 0)
+			h.arena.Persist(d.leaf+lfPValue, 8)
+			stats.StaleSlotsZeroed++
 		}
-		h.arena.Write8(leaf+lfPValue, 0)
-		h.arena.Persist(leaf+lfPValue, 8)
-		stats.StaleSlotsZeroed++
 	}
 
-	// 4. Orphan value sweep (mark-and-sweep): any committed value object
-	// referenced by no live leaf and no dead slot is unreachable forever —
-	// the residue of an unlogged update (Options.UnloggedUpdates) or of a
-	// baseline-style crash window — and is reclaimed here. With Algorithm
-	// 3 updates this finds nothing; either way, a recovered HART starts
-	// leak-free.
 	h.arena.SetPersistSite("recover.orphan-sweep")
 	for i := range h.opts.ValueClasses {
 		c := classValue0 + epalloc.Class(i)
-		var orphans []pmem.Ptr
-		if err := h.alloc.IterateObjects(c, func(vp pmem.Ptr, used bool) bool {
-			if used && !liveVals[vp] {
-				orphans = append(orphans, vp)
+		var orphans [epalloc.NumStripes][]pmem.Ptr
+		if err := h.alloc.IterateObjectsParallel(c, workers, func(st int, vp pmem.Ptr, used bool) bool {
+			if used && !ptrSetHas(sc.valSet, vp) {
+				orphans[st] = append(orphans[st], vp)
 			}
 			return true
 		}); err != nil {
 			return err
 		}
-		for _, vp := range orphans {
-			if err := h.alloc.Release(vp); err != nil {
-				return err
+		for st := range orphans {
+			for _, vp := range orphans[st] {
+				if err := h.alloc.Release(vp); err != nil {
+					return err
+				}
+				stats.OrphanValues++
 			}
-			stats.OrphanValues++
 		}
 	}
-	h.recoveryStats = stats
 	return nil
 }
+
+// buildPending builds a lazily recovered shard's ART from its pending
+// leaf list: read each leaf's full key (the deferred read the scan phase
+// skipped), sort, and batch-insert into a fresh tree. The caller holds
+// s.mu exclusively. Ordering matters: the built tree is stored before
+// pending is cleared, so any goroutine observing pending == nil is
+// guaranteed to observe the complete tree.
+func (h *HART) buildPending(s *artShard) {
+	pp := s.pending.Load()
+	if pp == nil {
+		return
+	}
+	kh := h.opts.HashKeyLen
+	var keys byteArena
+	recs := make([]recLeaf, 0, len(pp.leaves))
+	for _, leaf := range pp.leaves {
+		n := int(h.arena.Read1(leaf + lfKeyLen))
+		if n > MaxKeyLen {
+			n = MaxKeyLen
+		}
+		key := keys.alloc(n)
+		h.arena.ReadAt(leaf+lfKey, key)
+		recs = append(recs, recLeaf{leaf: leaf, key: key})
+	}
+	sort.Slice(recs, func(i, j int) bool { return bytes.Compare(recs[i].key, recs[j].key) < 0 })
+	b := art.New().BeginBatch()
+	for _, r := range recs {
+		var artKey []byte
+		if len(r.key) > kh {
+			artKey = r.key[kh:]
+		}
+		b.Insert(artKey, uint64(r.leaf))
+	}
+	s.tree.Store(b.Commit())
+	s.pending.Store(nil)
+	h.pendingShards.Add(-1)
+}
+
+// drainShard builds one shard if it is still pending.
+func (h *HART) drainShard(s *artShard) {
+	if s.pending.Load() == nil {
+		return
+	}
+	s.mu.Lock()
+	if !s.dead {
+		h.buildPending(s)
+	}
+	s.mu.Unlock()
+}
+
+// DrainRecovery completes a lazy recovery (Options.LazyRecovery) by
+// building every still-pending shard's ART, fanning the builds across
+// Options.RecoveryWorkers goroutines. It is idempotent, cheap when
+// nothing is pending, purely volatile (no PM write — the durable state
+// is identical before and after, so a crash mid-drain recovers exactly
+// like a crash before it), and safe to run concurrently with readers and
+// writers: each build holds its shard's write lock. Open does not wait
+// for it; callers wanting eager behaviour in the background can run
+// `go h.DrainRecovery()` right after Open.
+func (h *HART) DrainRecovery() {
+	if h.pendingShards.Load() <= 0 {
+		return
+	}
+	var pend []*artShard
+	h.dir.Load().Range(func(_ []byte, s *artShard) bool {
+		if s.pending.Load() != nil {
+			pend = append(pend, s)
+		}
+		return true
+	})
+	workers := h.opts.RecoveryWorkers
+	if workers > len(pend) {
+		workers = len(pend)
+	}
+	if workers <= 1 {
+		for _, s := range pend {
+			h.drainShard(s)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := next.Add(1) - 1
+				if i >= int64(len(pend)) {
+					return
+				}
+				h.drainShard(pend[i])
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// PendingShards reports how many lazily recovered shards still await
+// their first-touch ART build: non-zero only between a LazyRecovery Open
+// and the completion of DrainRecovery (or of organic traffic touching
+// every shard); always zero after an eager recovery.
+func (h *HART) PendingShards() int { return int(h.pendingShards.Load()) }
 
 // RecoveryStats is an inventory of what the last recovery pass did, for
 // hartfsck reporting and recovery tests.
@@ -132,6 +533,19 @@ type RecoveryStats struct {
 	// OrphanValues counts committed but unreachable value objects
 	// reclaimed by the mark-and-sweep pass.
 	OrphanValues int
+	// Workers is the worker count the pass ran with; Lazy reports whether
+	// the ART builds were deferred, and PendingShards how many shards
+	// were left pending at Open (0 for an eager recovery).
+	Workers       int
+	Lazy          bool
+	PendingShards int
+	// Per-phase wall times: update-log replay, leaf scan, index build and
+	// consistency sweeps. The build overlaps the sweeps on the pipelined
+	// path, so BuildNs includes the sweep window it ran concurrently with.
+	ULogNs  int64
+	ScanNs  int64
+	BuildNs int64
+	SweepNs int64
 }
 
 // LastRecoveryStats reports what the most recent recovery (New, Open or
@@ -172,25 +586,118 @@ func (h *HART) recoverUpdate(ul epalloc.UpdateLogState) error {
 
 // Rebuild discards the volatile index and reruns recovery in place; it
 // exists so the recovery experiment (Fig. 10c) can measure recovery time
-// without re-creating the arena.
+// without re-creating the arena. The replacement index is built privately
+// and published with one atomic store, so a reader concurrent with a
+// Rebuild observes either the old or the new complete directory — never
+// an empty or partially filled intermediate.
 func (h *HART) Rebuild() error {
-	h.dirMu.Lock()
-	h.dir.Store(hashdir.New[*artShard]())
-	h.dirMu.Unlock()
-	h.size.Store(0)
 	return h.recover()
 }
 
-// rebuildIndex inserts every live leaf into the volatile index, serially
-// or with Options.RecoveryWorkers parallel workers partitioned by hash
-// key (leaves with the same hash key always land on the same worker, so
-// shards are single-writer during rebuild).
-//
-// The rebuild targets a private, unpublished directory and mutates the
-// trees in place: nothing is visible to readers until the single Store
-// at the end, which keeps recovery free of the per-mutation
-// copy-on-write cost the published index pays.
-func (h *HART) rebuildIndex(leaves []pmem.Ptr) error {
+// recoverLegacy is the pre-pipeline recovery path: one serial
+// IterateObjects pass per class, a global liveVals map, and a rebuild
+// that locks the private directory per leaf and re-reads each leaf's key
+// from PM on the parallel path. It exists as the measurable "before"
+// baseline for BENCH_recovery.json (Options.LegacyRecovery); the
+// pipelined recover above is the default.
+func (h *HART) recoverLegacy() error {
+	var stats RecoveryStats
+	stats.Workers = h.opts.RecoveryWorkers
+	if stats.Workers < 1 {
+		stats.Workers = 1
+	}
+
+	t := time.Now()
+	h.arena.SetPersistSite("recover.ulog")
+	for _, ul := range h.alloc.PendingUpdateLogs() {
+		if err := h.recoverUpdate(ul); err != nil {
+			return err
+		}
+		h.alloc.ResetUpdateLogAt(ul.Index)
+		stats.CompletedULogs++
+	}
+	stats.ULogNs = time.Since(t).Nanoseconds()
+
+	t = time.Now()
+	liveVals := make(map[pmem.Ptr]bool)
+	var deadSlots []pmem.Ptr
+	var liveLeaves []pmem.Ptr
+	err := h.alloc.IterateObjects(classLeaf, func(leaf pmem.Ptr, used bool) bool {
+		vp, _ := unpackValue(h.arena.Read8(leaf + lfPValue))
+		if !used {
+			if !vp.IsNil() {
+				deadSlots = append(deadSlots, leaf)
+			}
+			return true
+		}
+		if !vp.IsNil() {
+			liveVals[vp] = true
+		}
+		liveLeaves = append(liveLeaves, leaf)
+		return true
+	})
+	if err != nil {
+		return err
+	}
+	stats.LiveLeaves = len(liveLeaves)
+	stats.ScanNs = time.Since(t).Nanoseconds()
+
+	t = time.Now()
+	if err := h.legacyRebuildIndex(liveLeaves); err != nil {
+		return err
+	}
+	stats.BuildNs = time.Since(t).Nanoseconds()
+
+	t = time.Now()
+	h.arena.SetPersistSite("recover.stale-sweep")
+	for _, leaf := range deadSlots {
+		vp, _ := unpackValue(h.arena.Read8(leaf + lfPValue))
+		if !vp.IsNil() && !liveVals[vp] {
+			if set, err := h.alloc.BitIsSet(vp); err == nil && set {
+				if err := h.alloc.ResetBit(vp); err != nil {
+					return err
+				}
+				if err := h.alloc.RecycleIfPresent(vp); err != nil {
+					return err
+				}
+			}
+		}
+		h.arena.Write8(leaf+lfPValue, 0)
+		h.arena.Persist(leaf+lfPValue, 8)
+		stats.StaleSlotsZeroed++
+	}
+
+	h.arena.SetPersistSite("recover.orphan-sweep")
+	for i := range h.opts.ValueClasses {
+		c := classValue0 + epalloc.Class(i)
+		var orphans []pmem.Ptr
+		if err := h.alloc.IterateObjects(c, func(vp pmem.Ptr, used bool) bool {
+			if used && !liveVals[vp] {
+				orphans = append(orphans, vp)
+			}
+			return true
+		}); err != nil {
+			return err
+		}
+		for _, vp := range orphans {
+			if err := h.alloc.Release(vp); err != nil {
+				return err
+			}
+			stats.OrphanValues++
+		}
+	}
+	stats.SweepNs = time.Since(t).Nanoseconds()
+	h.pendingShards.Store(0)
+	h.recoveryStats = stats
+	return nil
+}
+
+// legacyRebuildIndex inserts every live leaf into the volatile index,
+// serially or with Options.RecoveryWorkers parallel workers partitioned
+// by hash key (leaves with the same hash key always land on the same
+// worker, so shards are single-writer during rebuild).
+func (h *HART) legacyRebuildIndex(leaves []pmem.Ptr) error {
+	h.size.Store(0)
 	dir := hashdir.New[*artShard]()
 	var dirMu sync.Mutex
 	insert := func(leaf pmem.Ptr) error {

@@ -1,0 +1,351 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"github.com/casl-sdsu/hart/internal/pmem"
+)
+
+// recoveryFixture builds a store with inserts, updates and deletes, and
+// returns its durable image plus the reference contents.
+func recoveryFixture(t *testing.T, n int) ([]byte, map[string]string) {
+	t.Helper()
+	h, err := New(Options{ArenaSize: 16 << 20, Tracking: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(23))
+	ref := map[string]string{}
+	keys := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		k := fmt.Sprintf("%c%c%05d", 'a'+rng.Intn(6), 'a'+rng.Intn(6), rng.Intn(10*n))
+		v := fmt.Sprintf("v%06d", i)
+		if err := h.Put([]byte(k), []byte(v)); err != nil {
+			t.Fatal(err)
+		}
+		if _, dup := ref[k]; !dup {
+			keys = append(keys, k)
+		}
+		ref[k] = v
+	}
+	// Deletes and updates so recovery sees reused slots and both value
+	// classes' churn.
+	for i := 0; i < len(keys); i += 3 {
+		if err := h.Delete([]byte(keys[i])); err != nil {
+			t.Fatal(err)
+		}
+		delete(ref, keys[i])
+	}
+	for i := 1; i < len(keys); i += 5 {
+		if _, live := ref[keys[i]]; !live {
+			continue
+		}
+		v := fmt.Sprintf("upd%05d", i)
+		if err := h.Put([]byte(keys[i]), []byte(v)); err != nil {
+			t.Fatal(err)
+		}
+		ref[keys[i]] = v
+	}
+	img, err := h.Arena().DurableImage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return img, ref
+}
+
+// openImage attaches a private copy of img and opens it with opts.
+func openImage(t *testing.T, img []byte, opts Options) *HART {
+	t.Helper()
+	arena, err := pmem.Attach(append([]byte(nil), img...), pmem.Config{Size: int64(len(img)), Tracking: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := Open(arena, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+// assertContents checks Len, every reference Get, and (optionally) the
+// ordered key stream against want.
+func assertContents(t *testing.T, h *HART, ref map[string]string, wantKeys [][]byte, mode string) {
+	t.Helper()
+	if h.Len() != len(ref) {
+		t.Fatalf("%s: Len = %d, want %d", mode, h.Len(), len(ref))
+	}
+	for k, v := range ref {
+		got, ok := h.Get([]byte(k))
+		if !ok || string(got) != v {
+			t.Fatalf("%s: Get(%q) = (%q, %v), want %q", mode, k, got, ok, v)
+		}
+	}
+	if wantKeys != nil {
+		keys := h.Keys()
+		if len(keys) != len(wantKeys) {
+			t.Fatalf("%s: %d keys, want %d", mode, len(keys), len(wantKeys))
+		}
+		for i := range keys {
+			if !bytes.Equal(keys[i], wantKeys[i]) {
+				t.Fatalf("%s: key stream differs at %d: %q vs %q", mode, i, keys[i], wantKeys[i])
+			}
+		}
+	}
+}
+
+// TestRecoveryModeEquivalence: every recovery configuration — legacy
+// serial, legacy parallel, pipelined serial, pipelined parallel, lazy
+// (drained and first-touch) — produces exactly the same index and the
+// same RecoveryStats inventory from the same durable image.
+func TestRecoveryModeEquivalence(t *testing.T) {
+	img, ref := recoveryFixture(t, 4000)
+
+	base := openImage(t, img, Options{LegacyRecovery: true})
+	baseKeys := base.Keys()
+	baseStats := base.LastRecoveryStats()
+	assertContents(t, base, ref, nil, "legacy-serial")
+
+	modes := []struct {
+		name string
+		opts Options
+	}{
+		{"legacy-parallel", Options{LegacyRecovery: true, RecoveryWorkers: 8}},
+		{"pipelined-serial", Options{}},
+		{"pipelined-parallel", Options{RecoveryWorkers: 8}},
+		{"lazy", Options{LazyRecovery: true, RecoveryWorkers: 8}},
+		{"lazy-serial", Options{LazyRecovery: true}},
+	}
+	for _, m := range modes {
+		h := openImage(t, img, m.opts)
+		st := h.LastRecoveryStats()
+		if st.CompletedULogs != baseStats.CompletedULogs ||
+			st.LiveLeaves != baseStats.LiveLeaves ||
+			st.StaleSlotsZeroed != baseStats.StaleSlotsZeroed ||
+			st.OrphanValues != baseStats.OrphanValues {
+			t.Fatalf("%s: RecoveryStats diverge: %+v vs %+v", m.name, st, baseStats)
+		}
+		if m.opts.LazyRecovery {
+			// First-touch reads before any drain must already be correct.
+			for k, v := range ref {
+				got, ok := h.Get([]byte(k))
+				if !ok || string(got) != v {
+					t.Fatalf("%s pre-drain: Get(%q) = (%q, %v), want %q", m.name, k, got, ok, v)
+				}
+				break
+			}
+			h.DrainRecovery()
+			if p := h.PendingShards(); p != 0 {
+				t.Fatalf("%s: %d shards still pending after drain", m.name, p)
+			}
+		}
+		assertContents(t, h, ref, baseKeys, m.name)
+		if err := h.Check(); err != nil {
+			t.Fatalf("%s: %v", m.name, err)
+		}
+	}
+}
+
+// TestRecoveryStatsCrashEquivalence: recovery from a mid-operation crash
+// image finds and repairs the same inventory (ulogs, stale slots, orphan
+// values) under the legacy, pipelined and lazy paths.
+func TestRecoveryStatsCrashEquivalence(t *testing.T) {
+	for fail := int64(0); ; fail++ {
+		h, err := New(Options{ArenaSize: 16 << 20, Tracking: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 20; i++ {
+			mustPut(t, h, fmt.Sprintf("pre%03d", i), "stable")
+		}
+		h.Arena().FailAfterPersists(fail)
+		crashed := false
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					if _, isCrash := r.(pmem.CrashError); !isCrash {
+						panic(r)
+					}
+					crashed = true
+				}
+			}()
+			_ = h.Put([]byte("pre007"), []byte("updated")) // update: exercises the ulog
+			_ = h.Delete([]byte("pre011"))
+		}()
+		h.Arena().DisarmCrash()
+		if !crashed {
+			break
+		}
+		img, err := h.Arena().DurableImage()
+		if err != nil {
+			t.Fatal(err)
+		}
+		base := openImage(t, img, Options{LegacyRecovery: true})
+		want := base.LastRecoveryStats()
+		for _, opts := range []Options{
+			{RecoveryWorkers: 8},
+			{LazyRecovery: true, RecoveryWorkers: 8},
+		} {
+			h2 := openImage(t, img, opts)
+			st := h2.LastRecoveryStats()
+			if st.CompletedULogs != want.CompletedULogs ||
+				st.LiveLeaves != want.LiveLeaves ||
+				st.StaleSlotsZeroed != want.StaleSlotsZeroed ||
+				st.OrphanValues != want.OrphanValues {
+				t.Fatalf("fail=%d lazy=%v: stats diverge: %+v vs %+v", fail, opts.LazyRecovery, st, want)
+			}
+			if err := h2.Check(); err != nil {
+				t.Fatalf("fail=%d lazy=%v: %v", fail, opts.LazyRecovery, err)
+			}
+		}
+	}
+}
+
+// TestLazyRecoveryFirstTouch: a lazily recovered store serves reads,
+// writes and scans before any drain, building shards on first touch;
+// PendingShards decreases monotonically to zero.
+func TestLazyRecoveryFirstTouch(t *testing.T) {
+	img, ref := recoveryFixture(t, 3000)
+	h := openImage(t, img, Options{LazyRecovery: true, RecoveryWorkers: 4})
+	pend0 := h.PendingShards()
+	if pend0 == 0 {
+		t.Fatal("no pending shards after lazy open")
+	}
+	if h.Len() != len(ref) {
+		t.Fatalf("Len = %d before drain, want %d", h.Len(), len(ref))
+	}
+
+	// Reads on untouched shards.
+	seen := 0
+	for k, v := range ref {
+		got, ok := h.Get([]byte(k))
+		if !ok || string(got) != v {
+			t.Fatalf("pre-drain Get(%q) = (%q, %v), want %q", k, got, ok, v)
+		}
+		if seen++; seen >= 50 {
+			break
+		}
+	}
+	if p := h.PendingShards(); p >= pend0 {
+		t.Fatalf("PendingShards did not shrink on first touch: %d -> %d", pend0, p)
+	}
+
+	// Writes on (possibly) untouched shards.
+	mustPut(t, h, "zz-new-key", "zz-new-val")
+	ref["zz-new-key"] = "zz-new-val"
+	for k := range ref {
+		if err := h.Delete([]byte(k)); err != nil {
+			t.Fatal(err)
+		}
+		delete(ref, k)
+		break
+	}
+
+	// A full scan touches every shard: equivalent to a drain.
+	if got := len(h.Keys()); got != len(ref) {
+		t.Fatalf("scan saw %d keys, want %d", got, len(ref))
+	}
+	if p := h.PendingShards(); p != 0 {
+		t.Fatalf("%d shards pending after full scan", p)
+	}
+	assertContents(t, h, ref, nil, "post-scan")
+	if err := h.Check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLazyRecoveryCrashMidDrain: the deferred builds write nothing to PM,
+// so a durable image captured with shards still pending recovers exactly
+// like one captured before (or after) the drain.
+func TestLazyRecoveryCrashMidDrain(t *testing.T) {
+	img, ref := recoveryFixture(t, 3000)
+	h := openImage(t, img, Options{LazyRecovery: true, RecoveryWorkers: 4})
+	// Partially drain: touch a few shards.
+	seen := 0
+	for k := range ref {
+		h.Get([]byte(k))
+		if seen++; seen >= 10 {
+			break
+		}
+	}
+	if h.PendingShards() == 0 {
+		t.Fatal("fixture too small: nothing left pending")
+	}
+	mid, err := h.Arena().DurableImage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2 := openImage(t, mid, Options{RecoveryWorkers: 4})
+	assertContents(t, h2, ref, nil, "reopen-mid-drain")
+	if err := h2.Check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRebuildVisibility: concurrent readers never observe a missing key
+// while Rebuild replaces the index (the replacement is built privately
+// and published atomically — the old code exposed an empty directory).
+func TestRebuildVisibility(t *testing.T) {
+	h := newHART(t)
+	const n = 500
+	for i := 0; i < n; i++ {
+		mustPut(t, h, fmt.Sprintf("key%04d", i), "stable")
+	}
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	errc := make(chan error, 4)
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			k := []byte(fmt.Sprintf("key%04d", g*17))
+			for !stop.Load() {
+				if v, ok := h.Get(k); !ok || string(v) != "stable" {
+					errc <- fmt.Errorf("reader lost %q mid-rebuild: (%q, %v)", k, v, ok)
+					return
+				}
+			}
+		}(g)
+	}
+	for i := 0; i < 20; i++ {
+		if err := h.Rebuild(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stop.Store(true)
+	wg.Wait()
+	select {
+	case err := <-errc:
+		t.Fatal(err)
+	default:
+	}
+	if h.Len() != n {
+		t.Fatalf("Len = %d after rebuilds, want %d", h.Len(), n)
+	}
+}
+
+// TestRecoveryStatsPhases: the per-phase breakdown is populated and the
+// configuration echo matches the options.
+func TestRecoveryStatsPhases(t *testing.T) {
+	img, ref := recoveryFixture(t, 2000)
+	h := openImage(t, img, Options{RecoveryWorkers: 4})
+	st := h.LastRecoveryStats()
+	if st.Workers != 4 || st.Lazy || st.PendingShards != 0 {
+		t.Fatalf("config echo wrong: %+v", st)
+	}
+	if st.LiveLeaves != len(ref) {
+		t.Fatalf("LiveLeaves = %d, want %d", st.LiveLeaves, len(ref))
+	}
+	if st.ScanNs <= 0 || st.BuildNs <= 0 {
+		t.Fatalf("phase timings not populated: %+v", st)
+	}
+	lz := openImage(t, img, Options{LazyRecovery: true, RecoveryWorkers: 4})
+	st = lz.LastRecoveryStats()
+	if !st.Lazy || st.PendingShards == 0 || st.PendingShards != lz.PendingShards() {
+		t.Fatalf("lazy echo wrong: %+v (pending now %d)", st, lz.PendingShards())
+	}
+}

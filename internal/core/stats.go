@@ -55,7 +55,9 @@ type Stats struct {
 const dirEntryCost = 128
 
 // Stats collects statistics. Lock-free: it walks the current directory
-// snapshot and each shard's published tree, both immutable.
+// snapshot and each shard's published tree, both immutable. During a
+// lazy recovery (PendingShards > 0) unbuilt shards contribute empty
+// trees to the DRAM accounting; Records stays exact.
 func (h *HART) Stats() Stats {
 	st := Stats{
 		Records: h.Len(),

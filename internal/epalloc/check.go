@@ -2,9 +2,35 @@ package epalloc
 
 import (
 	"fmt"
+	"sync"
 
 	"github.com/casl-sdsu/hart/internal/pmem"
 )
+
+// IterateStripeObjects calls fn for every slot of every chunk on one
+// stripe's chunk list, reporting whether the slot's persistent bit is set.
+// List order within the stripe is most recently linked chunk first —
+// deterministic for a deterministic history. The walk only reads PM, so
+// distinct stripes may be iterated concurrently (HART's parallel recovery
+// scan fans one goroutine per stripe).
+func (a *Allocator) IterateStripeObjects(c Class, stripe int, fn func(obj pmem.Ptr, used bool) bool) error {
+	cs := &a.classes[c]
+	limit := int(cs.nchunks.Load()) + 1
+	steps := 0
+	for chunk := a.head(c, stripe); !chunk.IsNil(); chunk = a.arena.ReadPtr(chunk + 8) {
+		if steps++; steps > limit {
+			return fmt.Errorf("%w: class %s stripe %d chunk list longer than %d chunks (cycle?)",
+				ErrCorrupt, cs.spec.Name, stripe, limit-1)
+		}
+		h := a.readHeader(chunk)
+		for i := 0; i < ObjectsPerChunk; i++ {
+			if !fn(a.SlotAddr(chunk, c, i), h.bitmap()&(1<<uint(i)) != 0) {
+				return nil
+			}
+		}
+	}
+	return nil
+}
 
 // IterateObjects calls fn for every slot of every chunk on the class's
 // chunk lists, reporting whether the slot's persistent bit is set. This is
@@ -12,21 +38,62 @@ import (
 // order is stripe order, then list order within a stripe (most recently
 // linked chunk first) — deterministic for a deterministic history.
 func (a *Allocator) IterateObjects(c Class, fn func(obj pmem.Ptr, used bool) bool) error {
-	cs := &a.classes[c]
-	limit := int(cs.nchunks.Load()) + 1
+	stopped := false
+	wrapped := func(obj pmem.Ptr, used bool) bool {
+		if !fn(obj, used) {
+			stopped = true
+			return false
+		}
+		return true
+	}
 	for s := 0; s < NumStripes; s++ {
-		steps := 0
-		for chunk := a.head(c, s); !chunk.IsNil(); chunk = a.arena.ReadPtr(chunk + 8) {
-			if steps++; steps > limit {
-				return fmt.Errorf("%w: class %s stripe %d chunk list longer than %d chunks (cycle?)",
-					ErrCorrupt, cs.spec.Name, s, limit-1)
+		if err := a.IterateStripeObjects(c, s, wrapped); err != nil {
+			return err
+		}
+		if stopped {
+			return nil
+		}
+	}
+	return nil
+}
+
+// IterateObjectsParallel is IterateObjects with the stripes fanned out
+// across min(workers, NumStripes) goroutines. fn additionally receives
+// the stripe index; calls for one stripe always come from a single
+// goroutine in list order, so per-stripe state needs no synchronisation
+// (calls for different stripes race). fn returning false stops that
+// stripe's walk only. With workers <= 1 the fan-out is skipped entirely
+// and fn observes exactly IterateObjects' serial order.
+func (a *Allocator) IterateObjectsParallel(c Class, workers int, fn func(stripe int, obj pmem.Ptr, used bool) bool) error {
+	stripeFn := func(s int) func(obj pmem.Ptr, used bool) bool {
+		return func(obj pmem.Ptr, used bool) bool { return fn(s, obj, used) }
+	}
+	if workers > NumStripes {
+		workers = NumStripes
+	}
+	if workers <= 1 {
+		for s := 0; s < NumStripes; s++ {
+			if err := a.IterateStripeObjects(c, s, stripeFn(s)); err != nil {
+				return err
 			}
-			h := a.readHeader(chunk)
-			for i := 0; i < ObjectsPerChunk; i++ {
-				if !fn(a.SlotAddr(chunk, c, i), h.bitmap()&(1<<uint(i)) != 0) {
-					return nil
-				}
+		}
+		return nil
+	}
+	var errs [NumStripes]error
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for s := w; s < NumStripes; s += workers {
+				errs[s] = a.IterateStripeObjects(c, s, stripeFn(s))
 			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
 		}
 	}
 	return nil

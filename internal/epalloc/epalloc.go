@@ -311,11 +311,18 @@ func Attach(arena *pmem.Arena, specs []ClassSpec) (*Allocator, error) {
 	}
 	// Rebuild volatile indexes from the persistent per-stripe lists. One
 	// seen-set per class spans every stripe, so a chunk reachable from two
-	// stripes (or twice from one) is caught here.
+	// stripes (or twice from one) is caught here. The extent index is
+	// accumulated locally and published once, sorted — the walk visits
+	// chunks in list order, not address order, and per-chunk registerRange
+	// would rebuild the sorted snapshot on every out-of-order insert
+	// (quadratic in chunk count, the dominant cost of attaching a large
+	// image before recovery proper even starts).
+	var ranges []chunkRange
 	for i := range a.classes {
 		c := Class(i)
 		cs := &a.classes[i]
 		seen := make(map[pmem.Ptr]bool)
+		size := chunkSize(cs.spec.ObjSize)
 		for st := 0; st < NumStripes; st++ {
 			ss := &cs.stripes[st]
 			for listNo, head := range []pmem.Ptr{a.head(c, st), a.freeHead(c, st)} {
@@ -327,7 +334,7 @@ func Attach(arena *pmem.Arena, specs []ClassSpec) (*Allocator, error) {
 					}
 					seen[p] = true
 					cs.nchunks.Add(1)
-					a.registerRange(p, c, st)
+					ranges = append(ranges, chunkRange{start: p, end: p + pmem.Ptr(size), class: c, stripe: st})
 					ss.meta[p] = &chunkMeta{}
 					if !inFree && a.readHeader(p).free() > 0 {
 						ss.meta[p].inAvail = true
@@ -337,6 +344,8 @@ func Attach(arena *pmem.Arena, specs []ClassSpec) (*Allocator, error) {
 			}
 		}
 	}
+	sort.Slice(ranges, func(i, j int) bool { return ranges[i].start < ranges[j].start })
+	a.ranges.Store(&ranges)
 	return a, nil
 }
 

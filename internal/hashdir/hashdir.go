@@ -68,6 +68,35 @@ func New[V any]() *Table[V] {
 	return t
 }
 
+// NewFromSorted builds a table from keys in strictly ascending order with
+// values[i] stored under keys[i]. It exists for bulk construction —
+// HART's recovery creates every shard of the rebuilt directory in one
+// shot — where per-key Put would pay the ordered list's O(n) insertion
+// once per key (O(n²) for a large directory). The keys slice is retained
+// as the sorted list; callers must not modify it afterwards.
+func NewFromSorted[V any](keys []string, values []V) *Table[V] {
+	if len(keys) != len(values) {
+		panic("hashdir: NewFromSorted keys/values length mismatch")
+	}
+	n := minBuckets
+	for (len(keys)+1)*maxLoadDen >= n*maxLoadNum {
+		n *= 2
+	}
+	t := &Table[V]{}
+	t.init(n)
+	for i, k := range keys {
+		if len(k) > MaxKeyLen {
+			panic("hashdir: key exceeds MaxKeyLen")
+		}
+		if i > 0 && keys[i-1] >= k {
+			panic("hashdir: NewFromSorted keys not strictly ascending")
+		}
+		t.reinsert([]byte(k), values[i])
+	}
+	t.sorted = keys
+	return t
+}
+
 // init resets the slot array to n buckets (a power of two).
 func (t *Table[V]) init(n int) {
 	t.slots = make([]slot[V], n)

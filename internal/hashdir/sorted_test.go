@@ -1,0 +1,70 @@
+package hashdir
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+)
+
+// TestNewFromSorted: bulk construction is observably identical to
+// repeated Put — same lookups, same sorted key list — and keeps the load
+// factor below the grow threshold.
+func TestNewFromSorted(t *testing.T) {
+	for _, n := range []int{0, 1, 11, 1000} {
+		keys := make([]string, n)
+		vals := make([]int, n)
+		for i := range keys {
+			keys[i] = fmt.Sprintf("k%06d", i)
+			vals[i] = i
+		}
+		bulk := NewFromSorted(keys, vals)
+		inc := New[int]()
+		for i, k := range keys {
+			inc.Put([]byte(k), vals[i])
+		}
+		if bulk.Len() != inc.Len() {
+			t.Fatalf("n=%d: Len %d vs %d", n, bulk.Len(), inc.Len())
+		}
+		for i, k := range keys {
+			if v, ok := bulk.Get([]byte(k)); !ok || v != vals[i] {
+				t.Fatalf("n=%d: Get(%q) = (%d, %v)", n, k, v, ok)
+			}
+		}
+		if _, ok := bulk.Get([]byte("absent")); ok {
+			t.Fatalf("n=%d: phantom key", n)
+		}
+		bs, is := bulk.SortedKeys(), inc.SortedKeys()
+		if len(bs) != len(is) {
+			t.Fatalf("n=%d: sorted lengths differ", n)
+		}
+		for i := range bs {
+			if bs[i] != is[i] {
+				t.Fatalf("n=%d: sorted[%d] = %q vs %q", n, i, bs[i], is[i])
+			}
+		}
+		st := bulk.Stats()
+		if (st.Live+1)*maxLoadDen >= st.Buckets*maxLoadNum {
+			t.Fatalf("n=%d: table over load threshold: %+v", n, st)
+		}
+		// The table stays fully usable for subsequent mutation.
+		bulk.Put([]byte("zzz"), -1)
+		if !sort.StringsAreSorted(bulk.SortedKeys()) {
+			t.Fatalf("n=%d: sorted list broken after Put", n)
+		}
+	}
+}
+
+// TestNewFromSortedRejectsUnsorted: out-of-order and duplicate keys panic
+// (the caller contract recovery relies on).
+func TestNewFromSortedRejectsUnsorted(t *testing.T) {
+	for _, keys := range [][]string{{"b", "a"}, {"a", "a"}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewFromSorted(%q) did not panic", keys)
+				}
+			}()
+			NewFromSorted(keys, make([]int, len(keys)))
+		}()
+	}
+}

@@ -131,6 +131,35 @@ func TestModelCheckBigMultiShardBatch(t *testing.T) {
 	}
 }
 
+// TestModelCheckRecoveryModes sweeps seeded histories with recovery
+// running parallel, lazy, and lazy-parallel, all with re-entrant
+// recovery: every crash point is recovered under each mode and every
+// persist boundary of that recovery is crashed again. Lazy recovery
+// defers the ART builds but performs no PM write for them, so its
+// persist sequence — the thing the re-entrant sweep crashes through —
+// must be identical to eager's; divergence here would mean the drain is
+// not purely volatile.
+func TestModelCheckRecoveryModes(t *testing.T) {
+	seeds, ops := quickParams()
+	if *quick {
+		seeds = 2
+	}
+	modes := []Config{
+		{RecoveryWorkers: 4, ReentrantRecovery: true},
+		{LazyRecovery: true, ReentrantRecovery: true},
+		{RecoveryWorkers: 4, LazyRecovery: true, ReentrantRecovery: true},
+		{RecoveryWorkers: 4, LazyRecovery: true, UnloggedUpdates: true, ReentrantRecovery: true},
+	}
+	for _, cfg := range modes {
+		for seed := 0; seed < seeds; seed++ {
+			if err := RunSeed(int64(3000+seed), ops, cfg); err != nil {
+				t.Fatalf("workers=%d lazy=%v unlogged=%v: %v",
+					cfg.RecoveryWorkers, cfg.LazyRecovery, cfg.UnloggedUpdates, err)
+			}
+		}
+	}
+}
+
 // TestModelCheckLegacyWritePath sweeps seeded histories against the
 // pre-striping baseline write path, so both sides of the write-path
 // comparison stay crash-consistent.

@@ -22,6 +22,14 @@ type Config struct {
 	// publication), so the sweep covers the baseline as well as the
 	// striped default.
 	LegacyWritePath bool
+	// RecoveryWorkers parallelises the store's recovery, so the sweep
+	// covers the fanned-out scan and build (recovery's persist sequence
+	// is deterministic at any worker count — exactly what this checks).
+	RecoveryWorkers int
+	// LazyRecovery selects the store's lazy per-shard rebuild, so the
+	// sweep covers serving and re-crashing from a partially built
+	// directory (verifyRecovered's dump drains the pending shards).
+	LazyRecovery bool
 	// ReentrantRecovery additionally sweeps every persist boundary of
 	// recovery itself at every crash point (assertion (c)).
 	ReentrantRecovery bool
@@ -47,6 +55,8 @@ func (c Config) options() core.Options {
 		Tracking:        true,
 		UnloggedUpdates: c.UnloggedUpdates,
 		LegacyWritePath: c.LegacyWritePath,
+		RecoveryWorkers: c.RecoveryWorkers,
+		LazyRecovery:    c.LazyRecovery,
 	}
 }
 

@@ -23,3 +23,12 @@ go test -run='^$' -fuzz=FuzzModelCheck -fuzztime=10s ./internal/modelcheck/
 # over the striped allocator and micro-log pool, and the zero-alloc
 # assertions pin the Get/Put allocation-free claims.
 go test -race -count=1 -run 'WritePath' ./internal/bench/
+
+# Recovery paths under the race detector: mode-equivalence (legacy vs
+# pipelined vs lazy), crash-equivalence of recovery stats, lazy
+# first-touch/drain races, Rebuild visibility, the parallel stripe
+# iterators — plus the recovery benchmark harness at toy scale, which
+# end-to-end opens the same image under every mode.
+go test -race -count=1 -run 'Recovery|Rebuild|Lazy' ./internal/core/
+go test -race -count=1 -run 'Iterate' ./internal/epalloc/
+go test -race -count=1 -run 'RunRecoverySmoke' ./internal/bench/
