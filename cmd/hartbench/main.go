@@ -29,10 +29,11 @@ import (
 
 func main() {
 	var (
-		fig     = flag.String("fig", "all", "figure to run: all, 4, 5, 6, 7, 8, 9, 10a, 10b, 10c, 10d, summary, ablation, readpath, writepath, recovery")
+		fig     = flag.String("fig", "all", "figure to run: all, 4, 5, 6, 7, 8, 9, 10a, 10b, 10c, 10d, summary, ablation, readpath, writepath, recovery, restart")
 		rpOut   = flag.String("readpath-out", "BENCH_readpath.json", "output file for -fig readpath")
 		wpOut   = flag.String("writepath-out", "BENCH_writepath.json", "output file for -fig writepath")
 		recOut  = flag.String("recovery-out", "BENCH_recovery.json", "output file for -fig recovery")
+		rstOut  = flag.String("restart-out", "BENCH_restart.json", "output file for -fig restart")
 		records = flag.Int("records", 100000, "Sequential/Random record count")
 		valsize = flag.Int("valuesize", 0, "record payload bytes (default 8; max 16)")
 		dict    = flag.Int("dict", 0, "Dictionary size (default min(records, 466544); pass 466544 for the paper's corpus)")
@@ -116,6 +117,9 @@ func main() {
 	case "recovery":
 		runRecovery(cfg, *recOut)
 		return
+	case "restart":
+		runRestart(cfg, *rstOut)
+		return
 	case "summary":
 		rep, err = runBasics(cfg)
 	case "ablation":
@@ -177,6 +181,26 @@ func runWritePath(cfg bench.Config, out string) {
 // and records it as JSON (the before/after evidence for the optimisation).
 func runRecovery(cfg bench.Config, out string) {
 	rep, err := bench.RunRecovery(cfg)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	rep.FprintTable(os.Stdout)
+	f, err := os.Create(out)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	defer f.Close()
+	if err := rep.WriteJSON(f); err != nil {
+		fatalf("%v", err)
+	}
+	fmt.Fprintf(os.Stderr, "hartbench: wrote %s\n", out)
+}
+
+// runRestart runs the file-backed close-and-reopen comparison and
+// records it as JSON (the time-to-first-read evidence for the durable
+// file backend).
+func runRestart(cfg bench.Config, out string) {
+	rep, err := bench.RunRestart(cfg)
 	if err != nil {
 		fatalf("%v", err)
 	}

@@ -32,6 +32,7 @@ func main() {
 		duration  = flag.Duration("duration", 0, "stop after this wall time (0 = run all -histories)")
 		unlogged  = flag.Bool("unlogged", false, "use the unlogged pointer-swing update path")
 		recovery  = flag.Bool("recovery", false, "also crash recovery at every one of its own persist boundaries (slower)")
+		file      = flag.Bool("file", false, "also reopen every crash image through the file backend (slower)")
 		arena     = flag.Int64("arena", 0, "simulated PM arena bytes (0 = checker default)")
 		progress  = flag.Int("progress", 10, "print progress every N histories (0 = quiet)")
 	)
@@ -46,6 +47,7 @@ func main() {
 		ArenaSize:         *arena,
 		UnloggedUpdates:   *unlogged,
 		ReentrantRecovery: *recovery,
+		FileReattach:      *file,
 	}
 	start := time.Now()
 	done := 0

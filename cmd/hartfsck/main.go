@@ -35,8 +35,12 @@ func main() {
 		fail("recovery: %v", err)
 	}
 	st := db.Stats()
-	fmt.Printf("%s: %d records in %d ARTs\n", path, st.Records, st.ARTs)
 	rs := db.LastRecoveryStats()
+	shutdown := "unclean shutdown (crash image)"
+	if rs.WasClean {
+		shutdown = "clean shutdown"
+	}
+	fmt.Printf("%s: %d records in %d ARTs, %s\n", path, st.Records, st.ARTs, shutdown)
 	fmt.Printf("  recovery: %d live leaves, %d update logs completed, %d stale slots zeroed, %d orphan values reclaimed\n",
 		rs.LiveLeaves, rs.CompletedULogs, rs.StaleSlotsZeroed, rs.OrphanValues)
 	fmt.Printf("  recovery phases (%d worker(s)): ulog replay %v, leaf scan %v, ART build %v, sweeps %v (build overlaps sweeps)\n",

@@ -1,9 +1,14 @@
 // Command hartkv is an interactive key-value shell over a HART index.
 //
-// The simulated persistent memory arena is saved to and restored from a
-// file, so data survives process restarts exactly the way a DAX-mapped PM
-// file would: only bytes that were persisted (flushed) before "save" are
-// in the image, and opening the image runs HART's recovery (Algorithm 7).
+// With -db the store is a file-backed persistent memory arena opened
+// through hart.Open: the file is mapped shared, every completed put or
+// delete is durable against a process crash with no save step, and each
+// start re-attaches and runs HART's recovery (Algorithm 7). "sync"
+// flushes the mapping for machine-crash durability and "quit" closes the
+// store cleanly. A -db file that exists but cannot be attached — torn,
+// truncated, not a HART store, or created with different geometry — is
+// refused outright; hartkv never falls back to an empty store over a
+// path that holds data.
 //
 // Usage:
 //
@@ -15,7 +20,7 @@
 //	> scan a z
 //	> stats
 //	> check
-//	> save
+//	> sync
 //	> quit
 package main
 
@@ -36,34 +41,35 @@ func main() {
 	)
 	flag.Parse()
 
-	opts := hart.Options{CrashSimulation: true, ArenaSize: *size}
 	var db *hart.DB
 	var err error
 	if *dbPath != "" {
-		if img, rerr := os.ReadFile(*dbPath); rerr == nil {
-			db, err = hart.Restore(img, opts)
-			if err == nil {
-				fmt.Printf("recovered %d records from %s\n", db.Len(), *dbPath)
+		st, serr := os.Stat(*dbPath)
+		existed := serr == nil && st.Size() > 0
+		// Geometry is adopted from the store's superblock on re-attach;
+		// ArenaSize only sizes a file created by this run.
+		db, err = hart.Open(*dbPath, hart.Options{ArenaSize: *size})
+		if err != nil {
+			// Refuse to start rather than shadow an unreadable store with an
+			// empty one: the old path fell back to hart.New here and then
+			// clobbered the image on quit, losing every record in it.
+			fmt.Fprintf(os.Stderr, "hartkv: cannot open %s: %v\n", *dbPath, err)
+			os.Exit(1)
+		}
+		how := "created"
+		if existed {
+			how = "crash image, recovered"
+			if db.LastRecoveryStats().WasClean {
+				how = "clean shutdown"
 			}
 		}
-	}
-	if db == nil {
-		db, err = hart.New(opts)
-	}
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "hartkv:", err)
-		os.Exit(1)
-	}
-
-	save := func() error {
-		if *dbPath == "" {
-			return fmt.Errorf("no -db file configured")
-		}
-		img, err := db.CrashImage()
+		fmt.Printf("opened %s: %d records (%s)\n", *dbPath, db.Len(), how)
+	} else {
+		db, err = hart.New(hart.Options{ArenaSize: *size})
 		if err != nil {
-			return err
+			fmt.Fprintln(os.Stderr, "hartkv:", err)
+			os.Exit(1)
 		}
-		return os.WriteFile(*dbPath, img, 0o644)
 	}
 
 	sc := bufio.NewScanner(os.Stdin)
@@ -137,11 +143,15 @@ func main() {
 			} else {
 				fmt.Println("ok")
 			}
-		case "save":
-			if err := save(); err != nil {
+		case "sync", "save":
+			if *dbPath == "" {
+				fmt.Println("error: no -db file configured")
+				break
+			}
+			if err := db.Sync(); err != nil {
 				fmt.Println("error:", err)
 			} else {
-				fmt.Println("saved to", *dbPath)
+				fmt.Println("synced", *dbPath)
 			}
 		case "fill":
 			// fill <n> [prefix]: bulk-load synthetic records for demos.
@@ -166,14 +176,13 @@ func main() {
 			}
 			fmt.Printf("inserted %d records\n", filled)
 		case "quit", "exit":
-			if *dbPath != "" {
-				if err := save(); err != nil {
-					fmt.Println("save on exit failed:", err)
-				}
+			if err := db.Close(); err != nil {
+				fmt.Println("close failed:", err)
+				os.Exit(1)
 			}
 			return
 		case "help":
-			fmt.Println("commands: put get del scan len stats check save quit")
+			fmt.Println("commands: put get del scan len stats check sync quit")
 		default:
 			fmt.Printf("unknown command %q (try help)\n", cmd)
 		}

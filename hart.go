@@ -8,15 +8,21 @@
 // simulated persistent memory, committed through EPallocator's chunk
 // bitmaps so that crashes can neither tear an operation nor leak PM.
 //
-// Quick start:
+// Quick start — a durable store backed by a file:
 //
-//	db, err := hart.New(hart.Options{})
+//	db, err := hart.Open("store.hart", hart.Options{})
 //	...
 //	db.Put([]byte("key"), []byte("value"))
 //	v, ok := db.Get([]byte("key"))
 //	buf := make([]byte, 0, hart.MaxValueLen)
 //	v, ok = db.GetInto([]byte("key"), buf) // zero-alloc lookup
 //	db.Scan([]byte("a"), []byte("b"), func(k, v []byte) bool { ... })
+//	db.Close()
+//
+// Open creates the file on first use and re-attaches on every later run,
+// reading the store's geometry from its persisted superblock — no save
+// step, no remembering the options the store was created with. New builds
+// the same index over a purely in-memory arena for tests and benchmarks.
 //
 // Lookups (Get, GetInto, Contains) are lock-free: they read an atomic
 // snapshot of the hash directory and of the target ART and validate the
@@ -57,6 +63,14 @@ var (
 	ErrKeyTooLong = core.ErrKeyTooLong
 	// ErrValueTooLong reports a value above MaxValueLen bytes.
 	ErrValueTooLong = core.ErrValueTooLong
+	// ErrGeometryMismatch reports Options naming a HashKeyLen or
+	// ValueClasses different from the ones the store was created with.
+	ErrGeometryMismatch = core.ErrGeometryMismatch
+	// ErrNotFormatted reports an arena or file holding no HART store.
+	ErrNotFormatted = core.ErrNotFormatted
+	// ErrTruncatedFile reports a backing file shorter than the arena its
+	// header describes (torn creation or external truncation).
+	ErrTruncatedFile = pmem.ErrTruncatedFile
 )
 
 // Options configures a DB.
@@ -75,7 +89,9 @@ type Options struct {
 	CrashSimulation bool
 	// ValueClasses lists value-object sizes in bytes, ascending multiples
 	// of 8 (default [8, 16], the paper's two classes). The largest class
-	// bounds value length; Restore must be given the same table.
+	// bounds value length. The table is persisted in the store's
+	// superblock: Open and Restore adopt it when this field is left nil
+	// and fail with ErrGeometryMismatch when it names a different table.
 	ValueClasses []int64
 	// LockedReads disables the lock-free read path and restores the
 	// paper's original two-lock reads (global directory read lock, then
@@ -141,7 +157,8 @@ func (o Options) coreOptions() core.Options {
 	return opts
 }
 
-// New creates an empty DB over a fresh simulated PM arena.
+// New creates an empty DB over a fresh simulated PM arena. The store
+// lives in process memory; use Open for one that survives the process.
 func New(opts Options) (*DB, error) {
 	h, err := core.New(opts.coreOptions())
 	if err != nil {
@@ -150,10 +167,50 @@ func New(opts Options) (*DB, error) {
 	return &DB{HART: h}, nil
 }
 
-// Restore attaches to a durable PM image (from CrashImage) and runs
-// recovery: interrupted updates are completed from their micro-logs and
-// the hash directory plus all ART internal nodes are rebuilt from the
-// persistent leaves (paper Algorithm 7).
+// Open creates or attaches a durable DB backed by the file at path.
+//
+// A missing or empty file is created with Options.ArenaSize bytes
+// (default 64 MiB) and formatted. An existing file is validated (arena
+// header, HART superblock) and recovered: interrupted updates are
+// completed from their micro-logs and the index is rebuilt from the
+// persistent leaves, exactly as after a crash. Geometry options
+// (HashKeyLen, ValueClasses) left zero adopt the values persisted in the
+// store's superblock; non-zero values must match them
+// (ErrGeometryMismatch). A file that is torn, truncated, or not a HART
+// store is refused — never silently reformatted.
+//
+// On Linux the file is mapped MAP_SHARED, so every completed operation
+// survives a process crash; Sync (and Close) flush the mapping so a
+// machine crash loses at most the writes since the last sync. On other
+// platforms a heap buffer is written back atomically on Sync/Close.
+// Close marks the shutdown clean in the superblock and releases the
+// file; the file's bytes are a valid arena image throughout, so tools
+// like hartfsck can read it directly.
+func Open(path string, opts Options) (*DB, error) {
+	co := opts.coreOptions()
+	arena, fresh, err := pmem.OpenFileArena(path, co.ArenaConfig())
+	if err != nil {
+		return nil, err
+	}
+	var h *core.HART
+	if fresh {
+		h, err = core.NewOnArena(arena, co)
+	} else {
+		h, err = core.Open(arena, co)
+	}
+	if err != nil {
+		arena.Close()
+		return nil, err
+	}
+	return &DB{HART: h}, nil
+}
+
+// Restore attaches to a durable PM image (from CrashImage, or the bytes
+// of an Open file) and runs recovery: interrupted updates are completed
+// from their micro-logs and the hash directory plus all ART internal
+// nodes are rebuilt from the persistent leaves (paper Algorithm 7).
+// Geometry options follow the same superblock adopt-or-match rule as
+// Open.
 func Restore(image []byte, opts Options) (*DB, error) {
 	co := opts.coreOptions()
 	arena, err := pmem.Attach(image, pmem.Config{

@@ -1,0 +1,283 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"runtime"
+	"time"
+
+	"github.com/casl-sdsu/hart/internal/core"
+	"github.com/casl-sdsu/hart/internal/pmem"
+	"github.com/casl-sdsu/hart/internal/workload"
+)
+
+// Restart experiment: time-to-first-read of a *file-backed* store after
+// a real close-and-reopen cycle — the durability path applications
+// actually run, as opposed to the recovery experiment's in-memory image
+// attach. A store of Records keys (with ~2% deleted, so recovery's
+// sweeps have real work) is built through the file backend, closed, and
+// reopened per mode; the measured ops are the same three as the recovery
+// rows:
+//
+//	open        — pmem.OpenFileArena + core.Open (mmap/load, superblock,
+//	              allocator attach, replay + scan + sweeps, and for eager
+//	              modes the whole index rebuild);
+//	first-read  — open plus the first Get (for lazy recovery this pays
+//	              exactly one shard's first-touch build);
+//	full        — time until the whole index is built.
+//
+// Modes are "eager" at each worker count and "lazy" at the highest; the
+// legacy baseline lives in the recovery experiment. Every reopen
+// verifies the recovered contents against the loaded key set, so a mode
+// that lost data can never report a win.
+
+// RestartResult is one measured cell, shaped like the other experiment
+// rows so scripts/benchdiff.sh can gate it: (mode, op, threads) → ns.
+type RestartResult struct {
+	// Mode is "eager" or "lazy".
+	Mode string `json:"mode"`
+	// Op is "open", "first-read" or "full".
+	Op string `json:"op"`
+	// Threads is the recovery worker count.
+	Threads int `json:"threads"`
+	// NsPerOp is the best-of-reps wall time of the op in nanoseconds.
+	NsPerOp float64 `json:"ns_per_op"`
+	// Millis is the same figure in milliseconds, for reading.
+	Millis float64 `json:"millis"`
+}
+
+// RestartReport is the BENCH_restart.json document.
+type RestartReport struct {
+	// Records is the reopened store's record count; ValueSize its payload
+	// bytes; FileBytes the backing file's size.
+	Records   int   `json:"records"`
+	ValueSize int   `json:"value_size"`
+	FileBytes int64 `json:"file_bytes"`
+	// Mapped reports whether the runs used a real shared mapping (Linux
+	// mmap) or the portable heap-buffer fallback.
+	Mapped bool `json:"mapped"`
+	// NumCPU records the machine's parallelism for the worker-sweep rows.
+	NumCPU  int             `json:"num_cpu"`
+	Results []RestartResult `json:"results"`
+	// LazyFirstReadSpeedup is eager first-read (max workers) ÷ lazy
+	// first-read: how much sooner the reopened file answers its first
+	// query when the ART builds are deferred.
+	LazyFirstReadSpeedup float64 `json:"lazy_first_read_speedup"`
+}
+
+// buildRestartStore creates and loads a file-backed store at path, then
+// closes it cleanly. Returns the surviving keys.
+func buildRestartStore(path string, c Config) ([][]byte, error) {
+	arena, fresh, err := pmem.OpenFileArena(path, pmem.Config{Size: recoveryArenaSize(c.Records)})
+	if err != nil {
+		return nil, err
+	}
+	if !fresh {
+		arena.Close()
+		return nil, fmt.Errorf("bench: restart store %s already exists", path)
+	}
+	h, err := core.NewOnArena(arena, core.Options{UnloggedUpdates: true})
+	if err != nil {
+		arena.Close()
+		return nil, err
+	}
+	keys := workload.Random(c.Records, c.Seed)
+	val := restartValue(c.ValueSize)
+	const batch = 4096
+	recs := make([]core.Record, 0, batch)
+	for i, k := range keys {
+		recs = append(recs, core.Record{Key: k, Value: val})
+		if len(recs) == batch || i == len(keys)-1 {
+			if _, err := h.PutBatch(recs); err != nil {
+				h.Close()
+				return nil, err
+			}
+			recs = recs[:0]
+		}
+	}
+	live := keys[:0]
+	for i, k := range keys {
+		if i%50 == 0 {
+			if err := h.Delete(k); err != nil {
+				h.Close()
+				return nil, err
+			}
+			continue
+		}
+		live = append(live, k)
+	}
+	if err := h.Close(); err != nil {
+		return nil, err
+	}
+	return live, nil
+}
+
+// restartValue is the deterministic payload every record carries.
+func restartValue(n int) []byte {
+	val := make([]byte, n)
+	for i := range val {
+		val[i] = byte('a' + i%26)
+	}
+	return val
+}
+
+// timeRestart reopens the store file under opts and times open, first
+// read and full build, verifying the recovered contents before closing.
+func timeRestart(path string, keys [][]byte, val []byte, opts core.Options) (tOpen, tFirst, tFull time.Duration, mapped bool, err error) {
+	start := time.Now()
+	arena, fresh, err := pmem.OpenFileArena(path, pmem.Config{})
+	if err != nil {
+		return 0, 0, 0, false, err
+	}
+	if fresh {
+		arena.Close()
+		return 0, 0, 0, false, fmt.Errorf("bench: restart store %s vanished", path)
+	}
+	h, err := core.Open(arena, opts)
+	if err != nil {
+		arena.Close()
+		return 0, 0, 0, false, err
+	}
+	tOpen = time.Since(start)
+	probe := keys[len(keys)/2]
+	v, ok := h.Get(probe)
+	tFirst = time.Since(start)
+	if !ok || !bytes.Equal(v, val) {
+		h.Close()
+		return 0, 0, 0, false, fmt.Errorf("bench: reopened store lost %q", probe)
+	}
+	h.DrainRecovery()
+	tFull = time.Since(start)
+
+	if h.Len() != len(keys) {
+		h.Close()
+		return 0, 0, 0, false, fmt.Errorf("bench: reopened Len = %d, want %d", h.Len(), len(keys))
+	}
+	stride := len(keys)/1000 + 1
+	for i := 0; i < len(keys); i += stride {
+		if v, ok := h.Get(keys[i]); !ok || !bytes.Equal(v, val) {
+			h.Close()
+			return 0, 0, 0, false, fmt.Errorf("bench: reopened store lost %q", keys[i])
+		}
+	}
+	if fb, ok := pmem.BackendOf(h.Arena()).(*pmem.FileBackend); ok {
+		mapped = fb.Mapped()
+	}
+	return tOpen, tFirst, tFull, mapped, h.Close()
+}
+
+// RunRestart measures the file-backed reopen comparison.
+func RunRestart(c Config) (*RestartReport, error) {
+	c = c.WithDefaults()
+	dir, err := os.MkdirTemp("", "hart-restart-")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, "store.hart")
+
+	fmt.Fprintf(c.Out, "restart: building %d-record file store...\n", c.Records)
+	keys, err := buildRestartStore(path, c)
+	if err != nil {
+		return nil, err
+	}
+	st, err := os.Stat(path)
+	if err != nil {
+		return nil, err
+	}
+	val := restartValue(c.ValueSize)
+
+	workerSweep := c.PathThreads
+	if len(workerSweep) == 0 {
+		workerSweep = []int{1, 4, 8}
+	}
+	maxW := workerSweep[len(workerSweep)-1]
+
+	type modeCfg struct {
+		mode    string
+		workers int
+		opts    core.Options
+	}
+	var modes []modeCfg
+	for _, w := range workerSweep {
+		modes = append(modes, modeCfg{"eager", w, core.Options{RecoveryWorkers: w}})
+	}
+	modes = append(modes, modeCfg{"lazy", maxW, core.Options{LazyRecovery: true, RecoveryWorkers: maxW}})
+
+	rep := &RestartReport{
+		Records:   len(keys),
+		ValueSize: c.ValueSize,
+		FileBytes: st.Size(),
+		NumCPU:    runtime.NumCPU(),
+	}
+	const reps = 3
+	var eagerFirst, lazyFirst float64
+	for _, m := range modes {
+		var bOpen, bFirst, bFull time.Duration
+		for r := 0; r < reps; r++ {
+			fmt.Fprintf(c.Out, "restart: %s workers=%d rep %d/%d...\n", m.mode, m.workers, r+1, reps)
+			tOpen, tFirst, tFull, mapped, err := timeRestart(path, keys, val, m.opts)
+			if err != nil {
+				return nil, err
+			}
+			rep.Mapped = mapped
+			if r == 0 || tOpen < bOpen {
+				bOpen = tOpen
+			}
+			if r == 0 || tFirst < bFirst {
+				bFirst = tFirst
+			}
+			if r == 0 || tFull < bFull {
+				bFull = tFull
+			}
+		}
+		for _, cell := range []struct {
+			op string
+			d  time.Duration
+		}{{"open", bOpen}, {"first-read", bFirst}, {"full", bFull}} {
+			rep.Results = append(rep.Results, RestartResult{
+				Mode:    m.mode,
+				Op:      cell.op,
+				Threads: m.workers,
+				NsPerOp: float64(cell.d.Nanoseconds()),
+				Millis:  float64(cell.d.Nanoseconds()) / 1e6,
+			})
+		}
+		if m.mode == "eager" && m.workers == maxW {
+			eagerFirst = float64(bFirst.Nanoseconds())
+		}
+		if m.mode == "lazy" {
+			lazyFirst = float64(bFirst.Nanoseconds())
+		}
+	}
+	if eagerFirst > 0 && lazyFirst > 0 {
+		rep.LazyFirstReadSpeedup = eagerFirst / lazyFirst
+	}
+	return rep, nil
+}
+
+// WriteJSON writes the report as indented JSON.
+func (r *RestartReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// FprintTable renders the report for the terminal.
+func (r *RestartReport) FprintTable(w io.Writer) {
+	medium := "heap fallback"
+	if r.Mapped {
+		medium = "mmap"
+	}
+	fmt.Fprintf(w, "\n== Restart: file-backed reopen to first read (records=%d, value=%dB, file=%.1f MB, %s, NumCPU=%d) ==\n",
+		r.Records, r.ValueSize, float64(r.FileBytes)/(1<<20), medium, r.NumCPU)
+	fmt.Fprintf(w, "%-8s %-12s %-8s %12s\n", "mode", "op", "workers", "ms")
+	for _, res := range r.Results {
+		fmt.Fprintf(w, "%-8s %-12s %-8d %12.2f\n", res.Mode, res.Op, res.Threads, res.Millis)
+	}
+	fmt.Fprintf(w, "lazy first read: %.1fx sooner than eager first read (max workers)\n", r.LazyFirstReadSpeedup)
+}

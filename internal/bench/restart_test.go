@@ -1,0 +1,70 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestRunRestartSmoke runs the file-backed reopen comparison at toy
+// scale and checks the report's shape: every mode × op cell present with
+// positive times and the JSON round-trippable. The timed reopens inside
+// verify the recovered contents, so this doubles as an end-to-end pass
+// over the build → Close → OpenFileArena → recover cycle.
+func TestRunRestartSmoke(t *testing.T) {
+	c := Config{Records: 3000, PathThreads: []int{1, 4}}.WithDefaults()
+	c.Out = nil
+	rep, err := RunRestart(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ~2% of the records are deleted while building the store.
+	if rep.Records <= 0 || rep.Records >= 3000 {
+		t.Fatalf("live records = %d, want in (0, 3000)", rep.Records)
+	}
+	if rep.FileBytes <= 0 {
+		t.Fatalf("file_bytes = %d", rep.FileBytes)
+	}
+	// (eager×2 + lazy) modes × (open, first-read, full).
+	if len(rep.Results) != 9 {
+		t.Fatalf("results = %d, want 9", len(rep.Results))
+	}
+	cells := map[string]bool{}
+	for _, r := range rep.Results {
+		if r.NsPerOp <= 0 || r.Millis <= 0 {
+			t.Fatalf("non-positive cell: %+v", r)
+		}
+		cells[r.Mode+"/"+r.Op] = true
+	}
+	for _, mode := range []string{"eager", "lazy"} {
+		for _, op := range []string{"open", "first-read", "full"} {
+			if !cells[mode+"/"+op] {
+				t.Fatalf("missing cell %s/%s", mode, op)
+			}
+		}
+	}
+	if rep.LazyFirstReadSpeedup <= 0 {
+		t.Fatalf("lazy_first_read_speedup = %v", rep.LazyFirstReadSpeedup)
+	}
+
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back RestartReport
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Results) != len(rep.Results) {
+		t.Fatal("JSON round trip lost results")
+	}
+
+	var tbl bytes.Buffer
+	rep.FprintTable(&tbl)
+	for _, want := range []string{"eager", "lazy", "first-read", "lazy first read"} {
+		if !strings.Contains(tbl.String(), want) {
+			t.Fatalf("table missing %q:\n%s", want, tbl.String())
+		}
+	}
+}

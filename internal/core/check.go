@@ -26,6 +26,9 @@ import (
 // between operations or after recovery, where an in-flight slot or a
 // busy/armed update log means a write path leaked on its way out.
 func (h *HART) Check() error {
+	if err := h.checkSuperblock(); err != nil {
+		return err
+	}
 	if err := h.alloc.CheckQuiescent(); err != nil {
 		return err
 	}

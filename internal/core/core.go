@@ -302,8 +302,37 @@ func (h *HART) valueClass(n int) epalloc.Class {
 	panic(fmt.Sprintf("hart: no value class for %d bytes", n))
 }
 
+// ArenaConfig translates the options into the PM medium's configuration,
+// shared by New and the file-backed openers.
+func (o Options) ArenaConfig() pmem.Config {
+	o = o.withDefaults()
+	var cache *cachesim.Cache
+	if o.CacheModel {
+		cache = cachesim.Default()
+	}
+	return pmem.Config{
+		Size:     o.ArenaSize,
+		Tracking: o.Tracking,
+		Latency:  o.Latency,
+		Cache:    cache,
+	}
+}
+
 // New creates a HART over a fresh simulated PM arena.
 func New(opts Options) (*HART, error) {
+	arena, err := pmem.New(opts.ArenaConfig())
+	if err != nil {
+		return nil, err
+	}
+	return NewOnArena(arena, opts)
+}
+
+// NewOnArena formats a HART store onto a freshly initialised arena
+// (typically a file-backed one from pmem.OpenFileArena). The format is
+// crash-safe: the superblock body is persisted first, then the allocator
+// state, and the superblock magic last — an arena torn anywhere inside
+// the sequence attaches as not-formatted, never as a half-formed store.
+func NewOnArena(arena *pmem.Arena, opts Options) (*HART, error) {
 	opts = opts.withDefaults()
 	if opts.HashKeyLen < 1 || opts.HashKeyLen >= MaxKeyLen {
 		return nil, fmt.Errorf("hart: invalid HashKeyLen %d", opts.HashKeyLen)
@@ -311,33 +340,41 @@ func New(opts Options) (*HART, error) {
 	if err := validateClasses(opts.ValueClasses); err != nil {
 		return nil, err
 	}
-	var cache *cachesim.Cache
-	if opts.CacheModel {
-		cache = cachesim.Default()
-	}
-	arena, err := pmem.New(pmem.Config{
-		Size:     opts.ArenaSize,
-		Tracking: opts.Tracking,
-		Latency:  opts.Latency,
-		Cache:    cache,
-	})
-	if err != nil {
-		return nil, err
-	}
 	h := &HART{opts: opts, arena: arena}
 	h.dir.Store(hashdir.New[*artShard]())
+	arena.SetPersistSite("format.superblock")
+	if err := writeSuperblockBody(arena, opts); err != nil {
+		return nil, err
+	}
+	var err error
 	h.alloc, err = epalloc.New(arena, h.classSpecs())
 	if err != nil {
 		return nil, err
 	}
+	arena.SetPersistSite("format.superblock")
+	writeSuperblockMagic(arena)
 	return h, nil
 }
 
-// Open attaches to an existing arena (typically one returned by
-// Arena().Crash in tests) and runs recovery: it completes interrupted
-// update logs and rebuilds the hash directory and all ART internal nodes
-// from the persistent leaves (Algorithm 7).
+// Open attaches to an existing arena (a file-backed store, or one
+// returned by Arena().Crash in tests) and runs recovery: it completes
+// interrupted update logs and rebuilds the hash directory and all ART
+// internal nodes from the persistent leaves (Algorithm 7).
+//
+// Geometry (HashKeyLen, ValueClasses) is read from the store's
+// superblock: options left zero adopt the persisted values, options set
+// to anything else must match them (ErrGeometryMismatch otherwise). The
+// store is marked dirty before recovery completes and stays dirty until
+// Close, so an image that skipped Close is identifiable as a crash image
+// (RecoveryStats.WasClean).
 func Open(arena *pmem.Arena, opts Options) (*HART, error) {
+	sb, err := readSuperblock(arena)
+	if err != nil {
+		return nil, err
+	}
+	if opts, err = adoptGeometry(opts, sb); err != nil {
+		return nil, err
+	}
 	opts = opts.withDefaults()
 	if err := validateClasses(opts.ValueClasses); err != nil {
 		return nil, err
@@ -349,9 +386,11 @@ func Open(arena *pmem.Arena, opts Options) (*HART, error) {
 		return nil, err
 	}
 	h.alloc = alloc
+	h.setCleanFlag(false)
 	if err := h.recover(); err != nil {
 		return nil, err
 	}
+	h.recoveryStats.WasClean = sb.Clean
 	return h, nil
 }
 
@@ -367,10 +406,29 @@ func (h *HART) Options() Options { return h.opts }
 // Len returns the number of stored records.
 func (h *HART) Len() int { return int(h.size.Load()) }
 
-// Close marks the index closed. The arena remains readable for tests.
+// Sync flushes the backing store (a no-op for the simulated arena; an
+// msync/fsync for file-backed ones). Individual operations are already
+// persistent when they return — Sync only matters for the file backend's
+// machine-crash window and its portable write-back fallback.
+func (h *HART) Sync() error {
+	if h.closed.Load() {
+		return ErrClosed
+	}
+	return h.arena.Sync()
+}
+
+// Close marks the index closed, records the clean shutdown in the
+// superblock and releases the backing store. Idempotent; concurrent
+// operations that lose the race fail with ErrClosed.
 func (h *HART) Close() error {
-	h.closed.Store(true)
-	return nil
+	if h.closed.Swap(true) {
+		return nil
+	}
+	// Deferred lazy-recovery builds touch only DRAM, but finishing them
+	// leaves nothing half-installed for a concurrent straggler to trip on.
+	h.DrainRecovery()
+	h.setCleanFlag(true)
+	return h.arena.Close()
 }
 
 // stripeOf maps a hash key to its EPallocator stripe, giving every

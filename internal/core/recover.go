@@ -539,6 +539,10 @@ type RecoveryStats struct {
 	Workers       int
 	Lazy          bool
 	PendingShards int
+	// WasClean reports whether the superblock carried the clean-shutdown
+	// flag when Open attached — true for an image produced by Close, false
+	// for a crash image (or a pre-Open store). Always false after New.
+	WasClean bool
 	// Per-phase wall times: update-log replay, leaf scan, index build and
 	// consistency sweeps. The build overlaps the sweeps on the pipelined
 	// path, so BuildNs includes the sweep window it ran concurrently with.

@@ -31,6 +31,24 @@ func TestModelCheckLoggedUpdates(t *testing.T) {
 	}
 }
 
+// TestModelCheckFileReattach routes every crash image of a seed sweep
+// through the file backend as well: the durable bytes are written to a
+// real file, reopened via pmem.OpenFileArena and recovered from there.
+// What a crash image recovers to must not depend on the medium it sits
+// on.
+func TestModelCheckFileReattach(t *testing.T) {
+	seeds, ops := quickParams()
+	if seeds > 2 {
+		seeds = 2 // each boundary pays a file write; two seeds keep CI honest and fast
+	}
+	dir := t.TempDir()
+	for seed := 0; seed < seeds; seed++ {
+		if err := RunSeed(int64(4000+seed), ops, Config{FileReattach: true, FileReattachDir: dir}); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
 // TestModelCheckUnloggedUpdates sweeps the same space with the paper's
 // measured unlogged pointer-swing update mechanism.
 func TestModelCheckUnloggedUpdates(t *testing.T) {

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"os"
 
 	"github.com/casl-sdsu/hart/internal/core"
 	"github.com/casl-sdsu/hart/internal/pmem"
@@ -33,6 +34,15 @@ type Config struct {
 	// ReentrantRecovery additionally sweeps every persist boundary of
 	// recovery itself at every crash point (assertion (c)).
 	ReentrantRecovery bool
+	// FileReattach additionally routes every crash image through the file
+	// backend: the durable bytes are written to a file, reopened via
+	// pmem.OpenFileArena and recovered from there, asserting the durable
+	// medium is interchangeable — what a crash image recovers to cannot
+	// depend on whether it sits in memory or on disk.
+	FileReattach bool
+	// FileReattachDir is the directory for FileReattach's scratch files
+	// (default: the system temp dir). Tests pass t.TempDir().
+	FileReattachDir string
 	// MaxRecoveryPersists bounds the re-entrant sweep per crash point; a
 	// recovery that persists more than this fails the run (runaway
 	// recovery). Default 256.
@@ -268,17 +278,25 @@ func checkBoundary(hist History, cfg Config, states []model, cum []int64, base, 
 	if err != nil {
 		return fmt.Errorf("boundary %d: crash image: %w", b, err)
 	}
-	if err := verifyRecovered(img, cfg, candidates,
-		fmt.Sprintf("boundary %d (site %s, during op %d %s)", b, site, k, hist.Ops[k])); err != nil {
+	where := fmt.Sprintf("boundary %d (site %s, during op %d %s)", b, site, k, hist.Ops[k])
+	if err := verifyRecovered(img, cfg, candidates, where); err != nil {
 		return err
 	}
 
-	if !cfg.ReentrantRecovery {
+	if !cfg.ReentrantRecovery && !cfg.FileReattach {
 		return nil
 	}
 	imgBytes, err := ar.DurableImage()
 	if err != nil {
 		return fmt.Errorf("boundary %d: durable image: %w", b, err)
+	}
+	if cfg.FileReattach {
+		if err := verifyFileReattach(imgBytes, cfg, candidates, where); err != nil {
+			return err
+		}
+	}
+	if !cfg.ReentrantRecovery {
+		return nil
 	}
 	return sweepRecovery(imgBytes, cfg, candidates, b, site)
 }
@@ -317,6 +335,55 @@ func verifyRecovered(img *pmem.Arena, cfg Config, candidates []model, where stri
 		return fmt.Errorf("%s: fsck after recovery: %w", where, err)
 	}
 	return nil
+}
+
+// verifyFileReattach writes a crash image's durable bytes to a scratch
+// file, reopens it through the file backend and asserts the recovered
+// contents match one legal state — the same assertion verifyRecovered
+// makes for the in-memory attach, proving the media interchangeable.
+func verifyFileReattach(imgBytes []byte, cfg Config, candidates []model, where string) error {
+	f, err := os.CreateTemp(cfg.FileReattachDir, "modelcheck-*.hart")
+	if err != nil {
+		return fmt.Errorf("%s: file reattach: %w", where, err)
+	}
+	path := f.Name()
+	defer os.Remove(path)
+	_, werr := f.Write(imgBytes)
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		return fmt.Errorf("%s: file reattach: write %s: %w", where, path, werr)
+	}
+	arena, fresh, err := pmem.OpenFileArena(path, pmem.Config{})
+	if err != nil {
+		return fmt.Errorf("%s: file reattach: %w", where, err)
+	}
+	if fresh {
+		arena.Close()
+		return fmt.Errorf("%s: file reattach: image file read back as fresh", where)
+	}
+	hr, err := core.Open(arena, cfg.options())
+	if err != nil {
+		arena.Close()
+		return fmt.Errorf("%s: file reattach: recovery failed: %w", where, err)
+	}
+	dump := dumpStore(hr)
+	matched := false
+	for _, cand := range candidates {
+		if cand.equal(dump) {
+			matched = true
+			break
+		}
+	}
+	if !matched {
+		return fmt.Errorf("%s: file reattach: recovered state matches no legal state; vs pre-op state: %s",
+			where, candidates[0].diff(dump))
+	}
+	if err := hr.Check(); err != nil {
+		return fmt.Errorf("%s: file reattach: fsck: %w", where, err)
+	}
+	return hr.Close()
 }
 
 // openNoCrash opens a store, converting an (unexpected) injected-crash

@@ -1,0 +1,61 @@
+package pmem
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// WriteFileAtomic replaces path with data without ever exposing a torn
+// file: the bytes land in a temporary file in the same directory, are
+// fsynced, and only then renamed over the destination (rename within one
+// directory is atomic on POSIX filesystems). A crash at any point leaves
+// either the complete old file or the complete new one — never a
+// partially written image, which is what a plain os.WriteFile over the
+// only copy risks. The directory is fsynced after the rename so the new
+// directory entry itself is durable.
+func WriteFileAtomic(path string, data []byte, perm os.FileMode) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, "."+filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("pmem: atomic write: %w", err)
+	}
+	tmpName := tmp.Name()
+	// Any failure from here on removes the temp file; the destination is
+	// untouched until the rename.
+	fail := func(err error) error {
+		tmp.Close()
+		os.Remove(tmpName)
+		return fmt.Errorf("pmem: atomic write %s: %w", path, err)
+	}
+	if _, err := tmp.Write(data); err != nil {
+		return fail(err)
+	}
+	if err := tmp.Chmod(perm); err != nil {
+		return fail(err)
+	}
+	if err := tmp.Sync(); err != nil {
+		return fail(err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fail(err)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("pmem: atomic write %s: %w", path, err)
+	}
+	return syncDir(dir)
+}
+
+// syncDir fsyncs a directory so a just-renamed entry survives a crash.
+// Filesystems that refuse to fsync directories are tolerated: the rename
+// itself was still atomic.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return nil
+	}
+	defer d.Close()
+	_ = d.Sync()
+	return nil
+}

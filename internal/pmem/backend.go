@@ -1,0 +1,79 @@
+package pmem
+
+// Backend is the storage medium under an Arena: a flat byte region plus
+// the durability operations the arena forwards to it. The arena performs
+// all loads and stores directly on the slice returned by Bytes; the
+// backend only learns about durability points (Persist), full flushes
+// (Sync) and teardown (Close).
+//
+// Two implementations ship with the package:
+//
+//   - the in-memory simulated backend (New/Attach), where durability is
+//     modelled by the arena's tracking shadow and Persist is a no-op on
+//     the medium itself — the crash-testing backend; and
+//   - FileBackend (OpenFile/OpenFileArena), an mmap(MAP_SHARED) over a
+//     sized file, where the kernel's page cache makes every store survive
+//     a process crash and Sync/Close msync the mapping for machine-crash
+//     durability — the DAX-style persistent backend.
+//
+// Contract: Bytes must return the same slice for the backend's lifetime,
+// with an 8-byte-aligned base (atomic word access requires it) and a
+// length fixed at creation. Persist may be called concurrently from any
+// goroutine; Sync and Close are serialised by the caller.
+type Backend interface {
+	// Bytes returns the backing region. The arena addresses it by Ptr
+	// offsets for its whole lifetime.
+	Bytes() []byte
+	// Persist marks [off, off+n) as required-durable. For media with real
+	// persistence ordering (DAX) this is the CLWB+fence point; the
+	// simulated and mmap backends treat it as a no-op because their
+	// durability is, respectively, modelled in the arena and provided by
+	// the kernel page cache.
+	Persist(off, n int64)
+	// Sync makes the entire region durable on the medium (msync for the
+	// file backend; no-op in memory).
+	Sync() error
+	// Close flushes and releases the medium. The Bytes slice must not be
+	// used afterwards.
+	Close() error
+}
+
+// BackendOf exposes an arena's medium, letting callers inspect it (e.g.
+// whether a FileBackend runs mapped or on the write-back fallback).
+func BackendOf(a *Arena) Backend { return a.backend }
+
+// memBackend is the simulated in-memory medium: a heap slice with no
+// durability of its own (crash semantics are modelled by the arena's
+// tracking shadow, which is exactly what the crash tests sweep).
+type memBackend struct {
+	data []byte
+}
+
+// newMemBackend allocates a zeroed in-memory region. make guarantees the
+// 8-byte base alignment the Backend contract requires.
+func newMemBackend(size int64) *memBackend {
+	return &memBackend{data: make([]byte, size)}
+}
+
+// memBackendFor wraps an existing image, re-basing it into a fresh
+// allocation when the caller's slice is not 8-byte aligned.
+func memBackendFor(img []byte) *memBackend {
+	if !aligned8(img) {
+		img = append(make([]byte, 0, len(img)), img...)
+	}
+	return &memBackend{data: img}
+}
+
+// Bytes implements Backend.
+func (b *memBackend) Bytes() []byte { return b.data }
+
+// Persist implements Backend (no medium-side effect; the arena's shadow
+// models durability).
+func (b *memBackend) Persist(off, n int64) {}
+
+// Sync implements Backend.
+func (b *memBackend) Sync() error { return nil }
+
+// Close implements Backend. The slice stays valid so tests can keep
+// reading a closed simulated arena.
+func (b *memBackend) Close() error { return nil }

@@ -1,0 +1,175 @@
+package pmem
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestOpenFileFreshAndReattach exercises the file backend's lifecycle:
+// a fresh file is created at the requested size and formatted, writes
+// through the arena land in the file, and a second open attaches to the
+// same bytes.
+func TestOpenFileFreshAndReattach(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "store.pm")
+	const size = 1 << 20
+
+	a, fresh, err := OpenFileArena(path, Config{Size: size})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fresh {
+		t.Fatal("first open of a missing file not reported fresh")
+	}
+	p, err := a.Reserve(64, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Write8(p, 0xdeadbeefcafef00d)
+	a.Persist(p, 8)
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Size() != size {
+		t.Fatalf("file size %d, want %d", st.Size(), size)
+	}
+
+	a2, fresh, err := OpenFileArena(path, Config{Size: 123456789}) // size ignored on attach
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a2.Close()
+	if fresh {
+		t.Fatal("reopen of an existing store reported fresh")
+	}
+	if got := a2.Read8(p); got != 0xdeadbeefcafef00d {
+		t.Fatalf("reattached word = %#x", got)
+	}
+	if a2.Capacity() != size {
+		t.Fatalf("reattached capacity %d, want %d", a2.Capacity(), size)
+	}
+}
+
+// TestOpenFileRejectsShortFile verifies a file below the arena header
+// size is refused as torn, not formatted over.
+func TestOpenFileRejectsShortFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "short.pm")
+	if err := os.WriteFile(path, make([]byte, HeaderSize-1), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err := OpenFileArena(path, Config{Size: 1 << 20})
+	if !errors.Is(err, ErrTruncatedFile) {
+		t.Fatalf("short file: err = %v, want ErrTruncatedFile", err)
+	}
+}
+
+// TestOpenFileRejectsTornFile verifies a file whose length disagrees
+// with the capacity its own header records — the signature of a torn
+// creation or an external truncation — is refused.
+func TestOpenFileRejectsTornFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "store.pm")
+	a, _, err := OpenFileArena(path, Config{Size: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	img, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	torn := filepath.Join(dir, "torn.pm")
+	if err := os.WriteFile(torn, img[:len(img)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := OpenFileArena(torn, Config{}); !errors.Is(err, ErrTruncatedFile) {
+		t.Fatalf("truncated file: err = %v, want ErrTruncatedFile", err)
+	}
+
+	grown := filepath.Join(dir, "grown.pm")
+	if err := os.WriteFile(grown, append(img, make([]byte, 4096)...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := OpenFileArena(grown, Config{}); !errors.Is(err, ErrTruncatedFile) {
+		t.Fatalf("grown file: err = %v, want ErrTruncatedFile", err)
+	}
+
+	garbage := filepath.Join(dir, "garbage.pm")
+	if err := os.WriteFile(garbage, bytes.Repeat([]byte{0xff}, HeaderSize*2), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := OpenFileArena(garbage, Config{}); !errors.Is(err, ErrBadMagic) {
+		t.Fatalf("garbage file: err = %v, want ErrBadMagic", err)
+	}
+}
+
+// TestFileBackendSyncDurability verifies Sync pushes the arena's current
+// bytes into the file (observable by an independent read of the path).
+func TestFileBackendSyncDurability(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "store.pm")
+	a, _, err := OpenFileArena(path, Config{Size: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	p, err := a.Reserve(8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Write8(p, 0x1122334455667788)
+	a.Persist(p, 8)
+	if err := a.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	img, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got uint64
+	for i := 0; i < 8; i++ {
+		got |= uint64(img[int(p)+i]) << (8 * i)
+	}
+	if got != 0x1122334455667788 {
+		t.Fatalf("file word after Sync = %#x", got)
+	}
+}
+
+// TestWriteFileAtomic verifies the helper replaces the destination fully
+// or not at all and leaves no temp litter.
+func TestWriteFileAtomic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "f")
+	if err := WriteFileAtomic(path, []byte("first"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFileAtomic(path, []byte("second version"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "second version" {
+		t.Fatalf("content = %q", got)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("directory holds %d entries after atomic writes, want 1", len(entries))
+	}
+	if err := WriteFileAtomic(filepath.Join(dir, "missing", "f"), []byte("x"), 0o644); err == nil {
+		t.Fatal("write into a missing directory succeeded")
+	}
+}

@@ -1,0 +1,13 @@
+//go:build !linux
+
+package pmem
+
+import "errors"
+
+// errNoMmap routes non-Linux builds onto the portable heap-buffer
+// fallback (OpenFile catches the error and loads the file into memory).
+var errNoMmap = errors.New("pmem: mmap not supported on this platform")
+
+func (b *FileBackend) mmap(size int64) error { return errNoMmap }
+func (b *FileBackend) msync() error          { return nil }
+func (b *FileBackend) munmap() error         { return nil }

@@ -22,9 +22,14 @@
 //     cachesim model, reproducing the paper's PM latency emulation.
 //
 // The first HeaderSize bytes of an arena hold the arena's own metadata
-// (magic, capacity, bump cursor). Reservations are handed out by a
-// persistent bump allocator; structured allocation/free on top of it is the
-// job of package epalloc.
+// (magic, capacity, bump cursor) followed by the application label area
+// (see LabelBase), a fixed-offset region the embedding store uses for its
+// superblock. Reservations are handed out by a persistent bump allocator;
+// structured allocation/free on top of it is the job of package epalloc.
+//
+// The medium under an arena is pluggable (see Backend): the simulated
+// in-memory region above, or a file-backed mmap (FileBackend) where the
+// image genuinely survives process restarts.
 package pmem
 
 import (
@@ -51,8 +56,24 @@ const Nil Ptr = 0
 func (p Ptr) IsNil() bool { return p == Nil }
 
 // HeaderSize is the number of bytes at the start of every arena reserved
-// for the arena's own metadata.
-const HeaderSize = 64
+// ahead of the bump allocator: the arena's own metadata (magic, capacity,
+// cursor — the first LabelBase bytes) followed by the application label
+// area. The first reservation an application makes always lands at offset
+// HeaderSize, which is how the allocators find their superblocks after a
+// restart.
+const HeaderSize = 256
+
+// LabelBase is the byte offset of the application label area, the
+// LabelSize bytes between the arena's private metadata and the first
+// reservation. It exists for the embedding store's superblock (format
+// version, geometry, clean flag): a fixed offset the store can read
+// before any allocator state is interpreted. The area is ordinary
+// persistent space — Write8/Persist work on it — but no reservation ever
+// overlaps it.
+const LabelBase = 64
+
+// LabelSize is the size of the application label area in bytes.
+const LabelSize = HeaderSize - LabelBase
 
 const (
 	arenaMagic = 0x48415254504d454d // "HARTPMEM"
@@ -132,9 +153,10 @@ type Stats struct {
 // locking, as the paper's trees do); reservation and durability operations
 // are internally synchronised.
 type Arena struct {
-	data  []byte
-	clock *latency.Clock
-	cache *cachesim.Cache
+	data    []byte
+	backend Backend
+	clock   *latency.Clock
+	cache   *cachesim.Cache
 
 	// Tracking state.
 	tracking bool
@@ -160,60 +182,82 @@ type Arena struct {
 	bytesWritten   atomic.Int64
 }
 
-// New creates and formats a fresh arena.
+// New creates and formats a fresh arena on the simulated in-memory
+// medium.
 func New(cfg Config) (*Arena, error) {
 	if cfg.Size < HeaderSize {
 		return nil, fmt.Errorf("pmem: arena size %d below minimum %d", cfg.Size, HeaderSize)
 	}
-	a := &Arena{
-		data:     make([]byte, cfg.Size),
-		clock:    latency.NewClock(cfg.Latency),
-		cache:    cfg.Cache,
-		tracking: cfg.Tracking,
+	return NewOnBackend(newMemBackend(cfg.Size), cfg)
+}
+
+// NewOnBackend formats a fresh arena onto a backend's (zeroed) region.
+// The arena's capacity is the backend's region size; cfg.Size is ignored.
+func NewOnBackend(be Backend, cfg Config) (*Arena, error) {
+	size := int64(len(be.Bytes()))
+	if size < HeaderSize {
+		return nil, fmt.Errorf("pmem: backend region %d bytes below minimum %d", size, HeaderSize)
 	}
-	a.failAfter.Store(-1)
-	if cfg.Tracking {
-		a.shadow = make([]byte, cfg.Size)
-		a.dirty = make([]atomic.Uint64, (numLines(cfg.Size)+63)/64)
+	a := newArena(be, cfg)
+	if a.tracking {
+		a.shadow = make([]byte, size)
 	}
 	binary.LittleEndian.PutUint64(a.data[offMagic:], arenaMagic)
-	binary.LittleEndian.PutUint64(a.data[offCapacity:], uint64(cfg.Size))
+	binary.LittleEndian.PutUint64(a.data[offCapacity:], uint64(size))
 	binary.LittleEndian.PutUint64(a.data[offCursor:], HeaderSize)
 	a.persistRange(0, HeaderSize)
 	return a, nil
 }
 
 // Attach wraps an existing durable image (e.g. one returned by
-// DurableImage, or persisted externally by an application) in a new Arena.
+// DurableImage, or persisted externally by an application) in a new Arena
+// on the in-memory medium.
 func Attach(img []byte, cfg Config) (*Arena, error) {
-	return attach(img, cfg)
+	return AttachBackend(memBackendFor(img), cfg)
 }
 
-// attach wraps an existing durable image in a new Arena.
-func attach(img []byte, cfg Config) (*Arena, error) {
-	if len(img) < HeaderSize || binary.LittleEndian.Uint64(img[offMagic:]) != arenaMagic {
-		return nil, ErrBadMagic
+// AttachBackend attaches to an existing arena image held by a backend,
+// validating the header (magic, capacity against the region size, cursor
+// bounds) so torn or truncated media fail here instead of corrupting
+// later interpretation.
+func AttachBackend(be Backend, cfg Config) (*Arena, error) {
+	img := be.Bytes()
+	if err := validateImage(img); err != nil {
+		return nil, err
 	}
-	// Atomic word access requires the backing array to be 8-byte aligned
-	// (always true for make, not guaranteed for caller subslices); re-base
-	// into a fresh slice when it is not.
-	if !aligned8(img) {
-		img = append(make([]byte, 0, len(img)), img...)
+	a := newArena(be, cfg)
+	if a.tracking {
+		a.shadow = make([]byte, len(img))
+		copy(a.shadow, img)
 	}
+	return a, nil
+}
+
+// newArena builds the volatile arena shell shared by format and attach.
+func newArena(be Backend, cfg Config) *Arena {
 	a := &Arena{
-		data:     img,
+		data:     be.Bytes(),
+		backend:  be,
 		clock:    latency.NewClock(cfg.Latency),
 		cache:    cfg.Cache,
 		tracking: cfg.Tracking,
 	}
 	a.failAfter.Store(-1)
 	if cfg.Tracking {
-		a.shadow = make([]byte, len(img))
-		copy(a.shadow, img)
-		a.dirty = make([]atomic.Uint64, (numLines(int64(len(img)))+63)/64)
+		a.dirty = make([]atomic.Uint64, (numLines(int64(len(a.data)))+63)/64)
 	}
-	return a, nil
+	return a
 }
+
+// Sync flushes the entire arena on its medium: msync for a file backend,
+// no-op in memory. It is the whole-device durability point Close also
+// takes; Persist remains the fine-grained one.
+func (a *Arena) Sync() error { return a.backend.Sync() }
+
+// Close flushes and releases the medium. The arena must not be written
+// after Close; a file-backed arena's data slice is unmapped and must not
+// be touched at all.
+func (a *Arena) Close() error { return a.backend.Close() }
 
 func numLines(size int64) int64 {
 	return (size + lineSize - 1) / lineSize
@@ -265,14 +309,28 @@ func (a *Arena) Reserve(size int64, align int64) (Ptr, error) {
 
 // check panics if [p, p+size) is out of bounds. Out-of-bounds PM access is
 // a program bug (wild persistent pointer), not a runtime condition. The
-// lower bound is HeaderSize, not 1: the first HeaderSize bytes hold the
+// lower bound is LabelBase, not 1: the first LabelBase bytes hold the
 // arena's own metadata (magic, capacity, bump cursor), and a wild pointer
-// into them (0 < p < HeaderSize) would silently corrupt the header —
-// rejecting only Ptr(0) let exactly that through.
+// into them (0 < p < LabelBase) would silently corrupt the header —
+// rejecting only Ptr(0) let exactly that through. The label area
+// [LabelBase, HeaderSize) is legitimately addressable: it holds the
+// embedding store's superblock.
 func (a *Arena) check(p Ptr, size int) {
-	if p < HeaderSize || size < 0 || int64(p)+int64(size) > int64(len(a.data)) {
+	if p < LabelBase || size < 0 || int64(p)+int64(size) > int64(len(a.data)) {
 		panic(fmt.Sprintf("pmem: access [%d,%d) out of arena bounds [%d,%d)",
-			p, int64(p)+int64(size), HeaderSize, len(a.data)))
+			p, int64(p)+int64(size), LabelBase, len(a.data)))
+	}
+}
+
+// checkAligned panics on a misaligned word access. Every legitimate
+// 8-byte arena access is 8-aligned (reservations, chunk slots and log
+// fields all are); an unaligned offset is a wild or miscomputed pointer,
+// and silently degrading to a non-atomic plain load — as this package
+// once did — hands a lock-free reader a tearable word. Same policy as
+// check: program bug, so panic.
+func checkAligned(p Ptr) {
+	if p%8 != 0 {
+		panic(fmt.Sprintf("pmem: unaligned 8-byte word access at %d", p))
 	}
 }
 
@@ -328,27 +386,24 @@ func (a *Arena) WriteAt(p Ptr, data []byte) {
 // the load is single-copy atomic — with respect to crashes and, because
 // the load goes through sync/atomic, with respect to concurrent Write8
 // stores from writers that a lock-free reader does not exclude (see
-// atomic.go). Unaligned addresses fall back to a plain load.
+// atomic.go). Unaligned addresses panic (checkAligned): they used to fall
+// back to a plain, tearable load, which silently broke exactly the
+// guarantee callers come here for.
 func (a *Arena) Read8(p Ptr) uint64 {
 	a.check(p, 8)
+	checkAligned(p)
 	a.chargeRead(p, 8)
-	if p%8 != 0 {
-		return binary.LittleEndian.Uint64(a.data[p:])
-	}
 	return le64(atomic.LoadUint64(a.word(p)))
 }
 
-// Write8 stores a little-endian uint64 at p (8-byte aligned). The store is
-// atomic so lock-free readers racing it observe either the old or the new
-// word, never a torn mix.
+// Write8 stores a little-endian uint64 at p (8-byte aligned; unaligned
+// addresses panic). The store is atomic so lock-free readers racing it
+// observe either the old or the new word, never a torn mix.
 func (a *Arena) Write8(p Ptr, v uint64) {
 	a.check(p, 8)
+	checkAligned(p)
 	a.chargeWrite(p, 8)
-	if p%8 != 0 {
-		binary.LittleEndian.PutUint64(a.data[p:], v)
-	} else {
-		atomic.StoreUint64(a.word(p), le64(v))
-	}
+	atomic.StoreUint64(a.word(p), le64(v))
 	a.markDirty(p, 8)
 }
 
@@ -361,6 +416,7 @@ func (a *Arena) ReadWords(p Ptr, buf []byte) {
 	n := len(buf)
 	words := (n + 7) / 8
 	a.check(p, words*8)
+	checkAligned(p)
 	a.chargeRead(p, n)
 	for i := 0; i < words; i++ {
 		w := le64(atomic.LoadUint64(a.word(p + Ptr(i*8))))
@@ -382,6 +438,7 @@ func (a *Arena) WriteWords(p Ptr, data []byte) {
 	n := len(data)
 	words := (n + 7) / 8
 	a.check(p, words*8)
+	checkAligned(p)
 	a.chargeWrite(p, n)
 	for i := 0; i < words; i++ {
 		var w uint64
@@ -446,6 +503,7 @@ func (a *Arena) persistRange(off, size int64) {
 	first := off / lineSize
 	last := (off + size - 1) / lineSize
 	a.persistedLines.Add(last - first + 1)
+	a.backend.Persist(off, size)
 	if !a.tracking {
 		return
 	}
@@ -540,7 +598,7 @@ func (a *Arena) Crash(cfg Config, opts CrashOptions) (*Arena, error) {
 	}
 	a.shadowMu.Unlock()
 	cfg.Size = int64(len(img))
-	return attach(img, cfg)
+	return Attach(img, cfg)
 }
 
 // DurableImage returns a copy of the current durable view. Requires

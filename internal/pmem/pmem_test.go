@@ -84,14 +84,20 @@ func TestOutOfBoundsPanics(t *testing.T) {
 		"past end":    func() { a.Read8(Ptr(4090)) },
 		"write past":  func() { a.WriteAt(Ptr(4000), make([]byte, 200)) },
 		"persist nil": func() { a.Persist(Nil, 8) },
-		// Sub-header accesses (0 < p < HeaderSize) are wild pointers into
+		// Sub-label accesses (0 < p < LabelBase) are wild pointers into
 		// the arena's own metadata; a write there would corrupt the magic
-		// or the bump cursor. Regression: check used to admit them.
+		// or the bump cursor. Regression: check used to admit them. The
+		// label area [LabelBase, HeaderSize) is legitimately writable (it
+		// holds the store superblock), so the floor is LabelBase.
 		"header read":     func() { a.Read8(Ptr(8)) },
 		"header write":    func() { a.Write8(Ptr(offCursor), 0xdead) },
-		"header write1":   func() { a.Write1(Ptr(HeaderSize-1), 1) },
+		"header write1":   func() { a.Write1(Ptr(LabelBase-1), 1) },
 		"header persist":  func() { a.Persist(Ptr(8), 8) },
-		"straddle header": func() { a.WriteAt(Ptr(HeaderSize-8), make([]byte, 16)) },
+		"straddle header": func() { a.WriteAt(Ptr(LabelBase-8), make([]byte, 16)) },
+		// Unaligned word access is a program bug, not a fallback to plain
+		// loads: it silently broke single-copy atomicity before.
+		"unaligned read8":  func() { a.Read8(Ptr(HeaderSize + 4)) },
+		"unaligned write8": func() { a.Write8(Ptr(HeaderSize+4), 1) },
 	} {
 		func() {
 			defer func() {
@@ -339,8 +345,29 @@ func TestConcurrentReserve(t *testing.T) {
 }
 
 func TestAttachValidatesMagic(t *testing.T) {
-	if _, err := attach(make([]byte, 4096), Config{}); !errors.Is(err, ErrBadMagic) {
+	if _, err := Attach(make([]byte, 4096), Config{}); !errors.Is(err, ErrBadMagic) {
 		t.Fatalf("attach on zero image: %v", err)
+	}
+}
+
+// TestAttachValidatesCapacity verifies torn-image rejection: an image
+// whose header claims a different capacity than the bytes supplied (a
+// truncated copy, or a grown file) must not attach.
+func TestAttachValidatesCapacity(t *testing.T) {
+	a := newTracked(t, 8192)
+	img, err := a.DurableImage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Attach(img[:4096], Config{}); !errors.Is(err, ErrTruncatedFile) {
+		t.Fatalf("attach on truncated image: %v", err)
+	}
+	grown := append(append([]byte(nil), img...), make([]byte, 4096)...)
+	if _, err := Attach(grown, Config{}); !errors.Is(err, ErrTruncatedFile) {
+		t.Fatalf("attach on grown image: %v", err)
+	}
+	if _, err := Attach(img, Config{}); err != nil {
+		t.Fatalf("attach on intact image: %v", err)
 	}
 }
 

@@ -2,8 +2,9 @@
 # benchdiff.sh OLD.json NEW.json [threshold-pct]
 #
 # Compares two path-comparison reports (BENCH_readpath.json,
-# BENCH_writepath.json or BENCH_recovery.json — all carry a results[]
-# array keyed by mode/op/threads with ns_per_op) and flags every cell whose ns_per_op
+# BENCH_writepath.json, BENCH_recovery.json or BENCH_restart.json — all
+# carry a results[] array keyed by mode/op/threads with ns_per_op) and
+# flags every cell whose ns_per_op
 # regressed by more than the threshold (default 10%). Exits non-zero if
 # any cell regressed, so CI can gate on it:
 #

@@ -32,3 +32,15 @@ go test -race -count=1 -run 'WritePath' ./internal/bench/
 go test -race -count=1 -run 'Recovery|Rebuild|Lazy' ./internal/core/
 go test -race -count=1 -run 'Iterate' ./internal/epalloc/
 go test -race -count=1 -run 'RunRecoverySmoke' ./internal/bench/
+
+# Durable file backend: the pmem file/mmap/atomic-write suites, the
+# superblock geometry and clean-flag lifecycle, the public Open/Close
+# round trip (including the separate-process survival test), the
+# crash-image-through-a-file model-check sweep, and the restart
+# benchmark harness at toy scale — all under the race detector.
+# scripts/benchdiff.sh gates BENCH_restart.json like the other figures.
+go test -race -count=1 -run 'File|WriteFileAtomic' ./internal/pmem/
+go test -race -count=1 -run 'Open|CleanFlag|Close' ./internal/core/
+go test -race -count=1 -run 'Open|Restore|Helper' .
+go test -race -count=1 -run 'FileReattach' ./internal/modelcheck/
+go test -race -count=1 -run 'RunRestartSmoke' ./internal/bench/
