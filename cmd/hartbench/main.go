@@ -25,15 +25,19 @@ import (
 
 	"github.com/casl-sdsu/hart/internal/bench"
 	"github.com/casl-sdsu/hart/internal/latency"
+	"github.com/casl-sdsu/hart/internal/workload"
 )
 
 func main() {
 	var (
-		fig     = flag.String("fig", "all", "figure to run: all, 4, 5, 6, 7, 8, 9, 10a, 10b, 10c, 10d, summary, ablation, readpath, writepath, recovery, restart")
+		fig     = flag.String("fig", "all", "figure to run: all, 4, 5, 6, 7, 8, 9, 10a, 10b, 10c, 10d, summary, ablation, readpath, writepath, recovery, restart, skew")
 		rpOut   = flag.String("readpath-out", "BENCH_readpath.json", "output file for -fig readpath")
 		wpOut   = flag.String("writepath-out", "BENCH_writepath.json", "output file for -fig writepath")
 		recOut  = flag.String("recovery-out", "BENCH_recovery.json", "output file for -fig recovery")
 		rstOut  = flag.String("restart-out", "BENCH_restart.json", "output file for -fig restart")
+		skOut   = flag.String("skew-out", "BENCH_skew.json", "output file for -fig skew")
+		dist    = flag.String("dist", "uniform", "mixed-workload request distribution: uniform (the paper's) or zipf")
+		theta   = flag.Float64("theta", 0.99, "zipfian skew parameter for -dist zipf, in (0, 1)")
 		records = flag.Int("records", 100000, "Sequential/Random record count")
 		valsize = flag.Int("valuesize", 0, "record payload bytes (default 8; max 16)")
 		dict    = flag.Int("dict", 0, "Dictionary size (default min(records, 466544); pass 466544 for the paper's corpus)")
@@ -62,6 +66,14 @@ func main() {
 		cfg.Mode = latency.ModeAccount
 	default:
 		fatalf("unknown -mode %q", *mode)
+	}
+	switch *dist {
+	case "uniform":
+		cfg.Dist = workload.Uniform()
+	case "zipf":
+		cfg.Dist = workload.ZipfTheta(*theta)
+	default:
+		fatalf("unknown -dist %q", *dist)
 	}
 	if *trees != "" {
 		cfg.Trees = strings.Split(*trees, ",")
@@ -119,6 +131,9 @@ func main() {
 		return
 	case "restart":
 		runRestart(cfg, *rstOut)
+		return
+	case "skew":
+		runSkew(cfg, *skOut)
 		return
 	case "summary":
 		rep, err = runBasics(cfg)
@@ -201,6 +216,26 @@ func runRecovery(cfg bench.Config, out string) {
 // file backend).
 func runRestart(cfg bench.Config, out string) {
 	rep, err := bench.RunRestart(cfg)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	rep.FprintTable(os.Stdout)
+	f, err := os.Create(out)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	defer f.Close()
+	if err := rep.WriteJSON(f); err != nil {
+		fatalf("%v", err)
+	}
+	fmt.Fprintf(os.Stderr, "hartbench: wrote %s\n", out)
+}
+
+// runSkew runs the zipfian-skew fixed vs elastic directory comparison
+// and records it as JSON (the skew-resilience evidence for hot-shard
+// splitting).
+func runSkew(cfg bench.Config, out string) {
+	rep, err := bench.RunSkew(cfg)
 	if err != nil {
 		fatalf("%v", err)
 	}

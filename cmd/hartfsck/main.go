@@ -49,6 +49,22 @@ func main() {
 		time.Duration(rs.ScanNs).Round(time.Microsecond),
 		time.Duration(rs.BuildNs).Round(time.Microsecond),
 		time.Duration(rs.SweepNs).Round(time.Microsecond))
+	dir := st.Dir
+	fmt.Printf("  directory: %d entries, depth %d", dir.Entries, dir.BaseDepth)
+	if dir.MaxDepth > dir.BaseDepth {
+		fmt.Printf("-%d", dir.MaxDepth)
+	}
+	fmt.Printf(", %d/%d split prefixes persisted", dir.Splits, dir.SplitCap)
+	if dir.SplitsDone > 0 || dir.MergesDone > 0 {
+		fmt.Printf(" (%d splits, %d merges this run)", dir.SplitsDone, dir.MergesDone)
+	}
+	fmt.Println()
+	for i, hs := range dir.Hot {
+		if i >= 3 || hs.Ops == 0 {
+			break
+		}
+		fmt.Printf("    hot shard %-8q: %6d records, %6d ops since open\n", hs.Prefix, hs.Records, hs.Ops)
+	}
 	fmt.Printf("  PM:   %.2f MB reserved of %.2f MB\n",
 		float64(st.Size.PMBytes)/(1<<20), float64(st.Arena.Capacity)/(1<<20))
 	for _, cs := range st.Alloc {

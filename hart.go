@@ -116,6 +116,22 @@ type Options struct {
 	// exists as the benchmark baseline for the recovery experiment; leave
 	// it unset in normal use.
 	LegacyRecovery bool
+	// ElasticDirectory enables hot-shard splitting and cold-group merging:
+	// a shard whose write heat crosses SplitOps is split into per-byte
+	// child ARTs under one-byte-longer directory prefixes, restoring write
+	// concurrency under skewed (e.g. zipfian) workloads; groups shrunk
+	// below MergeRecords by deletes fold back. The split geometry is
+	// persisted in the superblock, so a store reopens with the shape it
+	// crashed with regardless of this flag (the flag only gates *new*
+	// geometry changes).
+	ElasticDirectory bool
+	// SplitOps is the per-shard write-op heat threshold that triggers a
+	// split (default 4096). Only meaningful with ElasticDirectory.
+	SplitOps int
+	// MergeRecords is the record-count ceiling below which a delete may
+	// merge a cold split group back into its parent (default 48). Only
+	// meaningful with ElasticDirectory.
+	MergeRecords int
 }
 
 // Record is one key-value pair for DB.PutBatch. The alias makes the
@@ -143,6 +159,10 @@ func (o Options) coreOptions() core.Options {
 		RecoveryWorkers: o.RecoveryWorkers,
 		LazyRecovery:    o.LazyRecovery,
 		LegacyRecovery:  o.LegacyRecovery,
+
+		ElasticDirectory: o.ElasticDirectory,
+		SplitOps:         o.SplitOps,
+		MergeRecords:     o.MergeRecords,
 	}
 	if o.PMWriteNs > 0 || o.PMReadNs > 0 {
 		opts.Latency = latency.Config{

@@ -57,6 +57,11 @@ type Config struct {
 	// PathThreads lists the thread counts of the read-path and write-path
 	// comparisons (nil = the checked-in default, 1/4/8).
 	PathThreads []int
+	// Dist is the request distribution the mixed workloads draw
+	// search/update/delete targets from (zero value = Uniform, the
+	// paper's setting; cmd/hartbench's -dist zipf selects
+	// workload.ZipfTheta).
+	Dist workload.Distribution
 	// Out receives progress and tables.
 	Out io.Writer
 }
@@ -95,6 +100,9 @@ func (c Config) WithDefaults() Config {
 	}
 	if c.Out == nil {
 		c.Out = io.Discard
+	}
+	if c.Dist.Name == "" {
+		c.Dist = workload.Uniform()
 	}
 	return c
 }

@@ -190,7 +190,7 @@ func RunFig9(c Config) (Report, error) {
 	}
 	fresh = uniq
 	for _, mix := range workload.Mixes() {
-		ops := mix.Generate(c.MixedOps, pre, fresh, c.ValueSize, c.Seed+3)
+		ops := mix.GenerateDist(c.MixedOps, pre, fresh, c.ValueSize, c.Seed+3, c.Dist)
 		for _, lat := range latency.PaperConfigs() {
 			for _, tree := range c.Trees {
 				ix, err := NewIndex(tree, lat, c.Mode, c.Records+c.MixedOps+1)

@@ -47,34 +47,58 @@ func (h *HART) PutBatch(records []Record) (int, error) {
 	})
 
 	done := 0
+	retries := 0
 	for i := 0; i < len(sorted); {
 		hashKey, _ := h.splitKey(sorted[i].Key)
 		// Extend the run of records sharing this hash key (sorted order
-		// makes the run contiguous).
+		// makes the run contiguous). After repeated validation failures —
+		// possible only under concurrent elastic geometry churn — degrade
+		// to single-record groups, which are always self-consistent.
 		j := i + 1
-		for j < len(sorted) {
-			hk2, _ := h.splitKey(sorted[j].Key)
-			if !bytes.Equal(hk2, hashKey) {
-				break
+		if retries < 3 {
+			for j < len(sorted) {
+				hk2, _ := h.splitKey(sorted[j].Key)
+				if !bytes.Equal(hk2, hashKey) {
+					break
+				}
+				j++
 			}
-			j++
 		}
-		s := h.lockShardW(hashKey, true)
+		s, lockedHK := h.lockShardW(sorted[i].Key, true)
+		if j-i == 1 {
+			// The route taken under the lock is authoritative for a
+			// single record, whatever grouping thought.
+			hashKey = lockedHK
+		} else if !bytes.Equal(lockedHK, hashKey) || !h.groupStable(sorted[i+1:j], hashKey) {
+			// A split or merge rerouted part of the group between the
+			// optimistic grouping and the lock: regroup against the new
+			// geometry. Holding the shard lock pins the routes of keys
+			// that NOW map to lockedHK, so a group that validates here
+			// stays valid for the whole application.
+			s.mu.Unlock()
+			retries++
+			continue
+		}
+		retries = 0
 		s.beginWrite()
 		var n int
 		var err error
 		switch {
 		case h.opts.LegacyWritePath:
-			n, err = h.putGroupSeq(s, sorted[i:j], 0)
+			n, err = h.putGroupSeq(s, hashKey, sorted[i:j], 0)
 		case j-i == 1:
 			// A group of one has nothing to amortise; the per-record
 			// protocol skips putGroup's batch bookkeeping.
-			n, err = h.putGroupSeq(s, sorted[i:j], h.stripeOf(hashKey))
+			n, err = h.putGroupSeq(s, hashKey, sorted[i:j], h.stripeOf(hashKey))
 		default:
 			n, err = h.putGroup(s, hashKey, sorted[i:j])
 		}
 		s.endWrite()
+		hot := err == nil && n > 0 && h.noteWrite(s, n)
 		s.mu.Unlock()
+		if hot {
+			h.maybeSplit(hashKey)
+		}
 		done += n
 		if err != nil {
 			return done, err
@@ -84,16 +108,37 @@ func (h *HART) PutBatch(records []Record) (int, error) {
 	return done, nil
 }
 
+// groupStable reports whether every record still routes to hashKey under
+// the current directory snapshot. Called with the shard at hashKey write-
+// locked, after which the answer cannot change: splitting hashKey needs
+// this lock, its ancestor entries are residual-only (never split), and a
+// merge covering it locks this shard too. Geometry is immutable without
+// ElasticDirectory, so the scan is skipped there.
+func (h *HART) groupStable(recs []Record, hashKey []byte) bool {
+	if !h.opts.ElasticDirectory {
+		return true
+	}
+	d := h.dir.Load()
+	for _, r := range recs {
+		if !bytes.Equal(d.route(r.Key, h.opts.HashKeyLen), hashKey) {
+			return false
+		}
+	}
+	return true
+}
+
 // putGroupSeq applies one group with the per-record protocol and one
 // tree republication per key, allocating on the given stripe. With
 // stripe 0 it is the pre-batching write path verbatim, kept as the
 // LegacyWritePath baseline; the striped path uses it for single-record
 // groups, which have nothing to amortise. Caller holds the shard write
-// lock and an open seqlock section.
-func (h *HART) putGroupSeq(s *artShard, recs []Record, stripe int) (int, error) {
+// lock and an open seqlock section; hashKey is the group's validated
+// route, so ART keys are formed by stripping it rather than re-routing
+// through a possibly newer snapshot.
+func (h *HART) putGroupSeq(s *artShard, hashKey []byte, recs []Record, stripe int) (int, error) {
 	done := 0
 	for _, r := range recs {
-		_, artKey := h.splitKey(r.Key)
+		artKey := r.Key[len(hashKey):]
 		var err error
 		if leafW, found := s.tree.Load().Get(artKey); found {
 			err = h.update(pmem.Ptr(leafW), r.Value, stripe)
@@ -148,7 +193,7 @@ func (h *HART) putGroup(s *artShard, hashKey []byte, recs []Record) (int, error)
 	isInsert := make([]bool, len(recs))
 	nIns := 0
 	for i, r := range recs {
-		_, artKeys[i] = h.splitKey(r.Key)
+		artKeys[i] = r.Key[len(hashKey):]
 		if i > 0 && bytes.Equal(r.Key, recs[i-1].Key) {
 			continue // duplicate: updates whatever the predecessor settled
 		}

@@ -53,13 +53,13 @@ func (h *HART) Check() error {
 
 	// Volatile side: every tree entry must be a committed leaf whose
 	// stored key matches its position in the index.
-	dir := h.dir.Load()
+	d := h.dir.Load()
 	type namedShard struct {
 		hk string
 		s  *artShard
 	}
-	shards := make([]namedShard, 0, dir.Len())
-	dir.Range(func(hk []byte, s *artShard) bool {
+	shards := make([]namedShard, 0, d.tab.Len())
+	d.tab.Range(func(hk []byte, s *artShard) bool {
 		shards = append(shards, namedShard{string(hk), s})
 		return true
 	})
@@ -80,6 +80,15 @@ func (h *HART) Check() error {
 			wantKey := append([]byte(ns.hk), artKey...)
 			if gotKey := h.leafKey(leaf); !bytes.Equal(gotKey, wantKey) {
 				shardErr = fmt.Errorf("hart: leaf %d stores key %q but is indexed under %q", leaf, gotKey, wantKey)
+				return false
+			}
+			// Elastic routing invariant: the entry holding the leaf must be
+			// the one the current geometry routes its key to — a violation
+			// means a split/merge stranded a record where lookups cannot
+			// find it.
+			if rk := d.splits.Route(wantKey, h.opts.HashKeyLen); string(rk) != ns.hk {
+				shardErr = fmt.Errorf("hart: leaf %d (key %q) indexed under %q but routes to %q",
+					leaf, wantKey, ns.hk, rk)
 				return false
 			}
 			vp, n := unpackValue(h.arena.Read8(leaf + lfPValue))

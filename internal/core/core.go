@@ -162,6 +162,24 @@ type Options struct {
 	// exists as the measurable "before" baseline for the write-path
 	// benchmarks (BENCH_writepath.json); leave it unset otherwise.
 	LegacyWritePath bool
+	// ElasticDirectory enables hot-shard splitting and cold-group
+	// merging (DESIGN.md §13): a shard whose write heat crosses SplitOps
+	// is split into children keyed on a one-byte-longer hash prefix, and
+	// a delete that leaves a split group small and cold folds it back.
+	// Off by default — the directory keeps the paper's fixed-kh shape.
+	// Routing always honours split prefixes already persisted in the
+	// superblock, so a store shaped by an elastic instance reopens
+	// correctly regardless of this flag; the flag only gates *new*
+	// geometry changes.
+	ElasticDirectory bool
+	// SplitOps is the per-shard write-op heat threshold that triggers a
+	// split attempt (default DefaultSplitOps). Only meaningful with
+	// ElasticDirectory.
+	SplitOps int
+	// MergeRecords caps the total record count at which a delete may
+	// fold a split group back into its parent prefix (default
+	// DefaultMergeRecords). Only meaningful with ElasticDirectory.
+	MergeRecords int
 }
 
 // withDefaults fills unset fields.
@@ -174,6 +192,12 @@ func (o Options) withDefaults() Options {
 	}
 	if len(o.ValueClasses) == 0 {
 		o.ValueClasses = []int64{8, 16}
+	}
+	if o.SplitOps == 0 {
+		o.SplitOps = DefaultSplitOps
+	}
+	if o.MergeRecords == 0 {
+		o.MergeRecords = DefaultMergeRecords
 	}
 	return o
 }
@@ -222,12 +246,25 @@ type artShard struct {
 	// mu held exclusively. Optimistic readers treat a non-nil pending as
 	// inconclusive and fall back to the locked path, which builds.
 	pending atomic.Pointer[pendingLeaves]
+	// heat counts write ops against this shard since the last split or
+	// merge decision looked at it; ops is the shard's cumulative write
+	// count (stats only). Both are bumped while mu is held, which is what
+	// makes split/merge decisions deterministic under the model checker's
+	// single-threaded replay; they are atomics so Stats can read them
+	// without the lock.
+	heat atomic.Uint64
+	ops  atomic.Uint64
 }
 
 // pendingLeaves is a lazily recovered shard's to-do list: the live leaves
 // the recovery scan assigned to it, awaiting the first-touch ART build.
 type pendingLeaves struct {
 	leaves []pmem.Ptr
+	// hkLen is the length of the shard's directory prefix, which the
+	// first-touch build strips from each leaf's full key to form its ART
+	// key. Fixed at kh before the elastic directory; now per-shard,
+	// since a recovered split child sits under a longer prefix.
+	hkLen int
 }
 
 // newShard returns a live shard with an empty published tree.
@@ -235,6 +272,26 @@ func newShard() *artShard {
 	s := &artShard{}
 	s.tree.Store(art.New())
 	return s
+}
+
+// dirTable is one published directory snapshot: the shard table together
+// with the split set that defines how keys route into it. The two are
+// swapped as a unit so every reader observes a table under the geometry
+// it was built for.
+//
+// Routing invariant: a directory entry that is a proper prefix of
+// another entry holds only the record whose full key equals the entry
+// itself — short keys (len < kh) and the residual entries left behind by
+// splits. hashdir.Splits.Route resolves any key to exactly one entry
+// under this invariant.
+type dirTable struct {
+	tab    *hashdir.Table[*artShard]
+	splits *hashdir.Splits
+}
+
+// route returns key's directory prefix under this snapshot's geometry.
+func (d *dirTable) route(key []byte, kh int) []byte {
+	return d.splits.Route(key, kh)
 }
 
 // beginWrite opens a seqlock critical section. Caller holds s.mu.
@@ -249,16 +306,28 @@ type HART struct {
 	arena *pmem.Arena
 	alloc *epalloc.Allocator
 
-	// dir is the published directory snapshot (the paper's hash table).
-	// The table behind the pointer is immutable: shard insertion and
-	// removal clone it, mutate the clone and swap the pointer. Readers
-	// load it with no lock; dirMu serialises the writers performing the
-	// clone-and-swap (and doubles as the global read lock of the
-	// Options.LockedReads baseline). Lock ordering: dirMu is never held
-	// while acquiring a shard lock except in removeShardIfEmpty, which is
-	// safe because getShard never waits on a shard while holding dirMu.
+	// dir is the published directory snapshot (the paper's hash table
+	// plus the split set that defines its routing geometry; see
+	// dirTable). Both structures behind the pointer are immutable: shard
+	// insertion/removal and geometry changes clone, mutate the clone and
+	// swap the pointer. Readers load it with no lock; dirMu serialises
+	// the writers performing the clone-and-swap (and doubles as the
+	// global read lock of the Options.LockedReads baseline). Lock
+	// ordering: shard mutexes before dirMu — removeShardIfEmpty,
+	// splitShard and tryMerge all publish while holding shard locks,
+	// which is safe because getShard never waits on a shard while
+	// holding dirMu.
 	dirMu sync.RWMutex
-	dir   atomic.Pointer[hashdir.Table[*artShard]]
+	dir   atomic.Pointer[dirTable]
+
+	// splitSlots mirrors the superblock's split-slot array in slot order
+	// (persistSplitRemove needs the index layout, not just the set).
+	// Guarded by dirMu.
+	splitSlots []string
+
+	// splitCount / mergeCount tally geometry changes since open (stats).
+	splitCount atomic.Uint64
+	mergeCount atomic.Uint64
 
 	size   atomic.Int64
 	closed atomic.Bool
@@ -341,7 +410,7 @@ func NewOnArena(arena *pmem.Arena, opts Options) (*HART, error) {
 		return nil, err
 	}
 	h := &HART{opts: opts, arena: arena}
-	h.dir.Store(hashdir.New[*artShard]())
+	h.dir.Store(&dirTable{tab: hashdir.New[*artShard](), splits: hashdir.NoSplits()})
 	arena.SetPersistSite("format.superblock")
 	if err := writeSuperblockBody(arena, opts); err != nil {
 		return nil, err
@@ -380,7 +449,14 @@ func Open(arena *pmem.Arena, opts Options) (*HART, error) {
 		return nil, err
 	}
 	h := &HART{opts: opts, arena: arena}
-	h.dir.Store(hashdir.New[*artShard]())
+	// The initial snapshot already carries the persisted split set:
+	// recovery (including the legacy path's per-leaf inserts) routes
+	// every leaf through it, rebuilding the exact pre-crash geometry.
+	h.adoptSplits(sb)
+	h.dir.Store(&dirTable{
+		tab:    hashdir.New[*artShard](),
+		splits: hashdir.NewSplits(sb.Splits),
+	})
 	alloc, err := epalloc.Attach(arena, h.classSpecs())
 	if err != nil {
 		return nil, err
@@ -444,7 +520,7 @@ func (h *HART) stripeOf(hashKey []byte) int {
 	if h.opts.LegacyWritePath {
 		return 0
 	}
-	return int(fnv32(hashKey)) % epalloc.NumStripes
+	return epalloc.StripeFor(hashKey)
 }
 
 // getULog claims a micro-log slot for a writer with the given stripe
@@ -458,13 +534,17 @@ func (h *HART) getULog(stripe int) *epalloc.ULog {
 }
 
 // splitKey divides a key into its hash key and ART key (Algorithm 1
-// line 1). Keys shorter than kh hash on their full bytes and carry an
-// empty ART key.
+// line 1, generalised to the elastic geometry): the hash key is the
+// key's routed directory prefix — kh bytes in the base shape, longer
+// under an entry that was split — and the ART key is the remainder. Keys
+// shorter than kh hash on their full bytes and carry an empty ART key.
+//
+// The division is only meaningful relative to one directory snapshot; a
+// caller that must act on it (every write) re-derives it under the shard
+// lock via lockShardW.
 func (h *HART) splitKey(key []byte) (hashKey, artKey []byte) {
-	if len(key) <= h.opts.HashKeyLen {
-		return key, nil
-	}
-	return key[:h.opts.HashKeyLen], key[h.opts.HashKeyLen:]
+	hk := h.dir.Load().route(key, h.opts.HashKeyLen)
+	return hk, key[len(hk):]
 }
 
 // validate rejects out-of-range keys and values.
@@ -497,67 +577,81 @@ func (h *HART) validateWrite(key, value []byte) error {
 	return nil
 }
 
-// getShard returns the shard for hashKey, optionally creating it
+// getShard routes key through the current directory snapshot and returns
+// its shard plus the routed hash key, optionally creating the shard
 // (HashInsert, Algorithm 1 lines 3-5). Lookup is a lock-free read of the
-// current directory snapshot; creation clones the snapshot under dirMu
+// snapshot; creation re-routes under dirMu — the geometry may have
+// changed since the optimistic route, and inserting under a stale prefix
+// would resurrect an entry a split just removed — then clones the table
 // and publishes the clone. The returned shard is unlocked; a caller that
-// locks it must re-check shard.dead and retry, since an emptied shard may
-// have been removed from the directory meanwhile.
-func (h *HART) getShard(hashKey []byte, create bool) *artShard {
-	s, ok := h.dir.Load().Get(hashKey)
+// locks it must re-check shard.dead and retry, since an emptied, split
+// or merged shard may have left the directory meanwhile.
+func (h *HART) getShard(key []byte, create bool) (*artShard, []byte) {
+	d := h.dir.Load()
+	hk := d.route(key, h.opts.HashKeyLen)
+	s, ok := d.tab.Get(hk)
 	if ok || !create {
-		return s
+		return s, hk
 	}
 	h.dirMu.Lock()
 	defer h.dirMu.Unlock()
 	cur := h.dir.Load()
-	if s, ok = cur.Get(hashKey); ok {
-		return s
+	hk = cur.route(key, h.opts.HashKeyLen)
+	if s, ok = cur.tab.Get(hk); ok {
+		return s, hk
 	}
 	s = newShard()
-	nu := cur.Clone()
-	nu.Put(hashKey, s)
-	h.dir.Store(nu)
-	return s
+	nu := cur.tab.Clone()
+	nu.Put(hk, s)
+	h.dir.Store(&dirTable{tab: nu, splits: cur.splits})
+	return s, hk
 }
 
-// lockShardW locates and write-locks the shard for hashKey, handling the
-// removed-shard race. Returns nil (no shard) when create is false and the
-// hash key is absent.
-func (h *HART) lockShardW(hashKey []byte, create bool) *artShard {
+// lockShardW locates and write-locks the shard owning key, handling the
+// removed-shard race: every retry re-routes the full key, so a writer
+// that lost its shard to a split or merge lands on the entry the current
+// geometry assigns it. Returns the shard and its routed hash key (the
+// caller's ART key is key[len(hashKey):]); the shard is nil when create
+// is false and the route resolves to no entry.
+func (h *HART) lockShardW(key []byte, create bool) (*artShard, []byte) {
 	for {
-		s := h.getShard(hashKey, create)
+		s, hk := h.getShard(key, create)
 		if s == nil {
-			return nil
+			return nil, hk
 		}
 		s.mu.Lock()
 		if !s.dead {
 			if s.pending.Load() != nil {
 				h.buildPending(s)
 			}
-			return s
+			return s, hk
 		}
 		s.mu.Unlock()
 	}
 }
 
-// lockShardR locates and read-locks the shard for hashKey. It is the
+// lockShardR locates and read-locks the shard owning key. It is the
 // slow path: optimistic readers that exhausted their retries, plus the
-// scan/stats/check paths that need a stable shard. In LockedReads mode
-// the directory lookup additionally passes through dirMu, reproducing
-// the paper's original two-lock read sequence for benchmarking.
-func (h *HART) lockShardR(hashKey []byte) *artShard {
+// stats/check paths that need a stable shard. In LockedReads mode the
+// directory lookup additionally passes through dirMu, reproducing the
+// paper's original two-lock read sequence for benchmarking.
+func (h *HART) lockShardR(key []byte) (*artShard, []byte) {
 	for {
-		var s *artShard
+		var (
+			s  *artShard
+			hk []byte
+		)
 		if h.opts.LockedReads {
 			h.dirMu.RLock()
-			s, _ = h.dir.Load().Get(hashKey)
+			d := h.dir.Load()
+			hk = d.route(key, h.opts.HashKeyLen)
+			s, _ = d.tab.Get(hk)
 			h.dirMu.RUnlock()
 		} else {
-			s = h.getShard(hashKey, false)
+			s, hk = h.getShard(key, false)
 		}
 		if s == nil {
-			return nil
+			return nil, nil
 		}
 		if s.pending.Load() != nil {
 			// Lazily recovered shard not yet built: upgrade to the write
@@ -567,7 +661,7 @@ func (h *HART) lockShardR(hashKey []byte) *artShard {
 		}
 		s.mu.RLock()
 		if !s.dead {
-			return s
+			return s, hk
 		}
 		s.mu.RUnlock()
 	}
@@ -586,16 +680,16 @@ func (h *HART) removeShardIfEmpty(hashKey []byte, s *artShard) {
 	h.dirMu.Lock()
 	defer h.dirMu.Unlock()
 	cur := h.dir.Load()
-	nu := cur.Clone()
+	nu := cur.tab.Clone()
 	if nu.Delete(hashKey) {
-		h.dir.Store(nu)
+		h.dir.Store(&dirTable{tab: nu, splits: cur.splits})
 	}
 }
 
 // NumARTs returns the number of live ARTs (the paper's maximum write
 // concurrency).
 func (h *HART) NumARTs() int {
-	return h.dir.Load().Len()
+	return h.dir.Load().tab.Len()
 }
 
 // leafKey reads the full key stored in a leaf.

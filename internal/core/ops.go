@@ -18,17 +18,23 @@ func (h *HART) Put(key, value []byte) error {
 	if err := h.validateWrite(key, value); err != nil {
 		return err
 	}
-	hashKey, artKey := h.splitKey(key)
+	s, hashKey := h.lockShardW(key, true) // lines 2-5: HashFind / NewART / HashInsert
+	artKey := key[len(hashKey):]
 	stripe := h.stripeOf(hashKey)
-	s := h.lockShardW(hashKey, true) // lines 2-5: HashFind / NewART / HashInsert
-	defer s.mu.Unlock()
 	s.beginWrite()
-	defer s.endWrite()
-
+	var err error
 	if leafW, found := s.tree.Load().Get(artKey); found { // line 6: SearchNode
-		return h.update(pmem.Ptr(leafW), value, stripe) // lines 7-8
+		err = h.update(pmem.Ptr(leafW), value, stripe) // lines 7-8
+	} else {
+		err = h.insertNew(s, artKey, key, value, stripe) // lines 9-18
 	}
-	return h.insertNew(s, artKey, key, value, stripe) // lines 9-18
+	s.endWrite()
+	hot := err == nil && h.noteWrite(s, 1)
+	s.mu.Unlock()
+	if hot {
+		h.maybeSplit(hashKey)
+	}
+	return err
 }
 
 // insertNew performs Algorithm 1 lines 9-18 under the shard write lock,
@@ -179,19 +185,25 @@ func (h *HART) Update(key, value []byte) error {
 	if err := h.validateWrite(key, value); err != nil {
 		return err
 	}
-	hashKey, artKey := h.splitKey(key)
-	s := h.lockShardW(hashKey, false)
+	s, hashKey := h.lockShardW(key, false)
 	if s == nil {
 		return ErrNotFound
 	}
-	defer s.mu.Unlock()
+	artKey := key[len(hashKey):]
 	s.beginWrite()
-	defer s.endWrite()
-	leafW, found := s.tree.Load().Get(artKey)
-	if !found {
-		return ErrNotFound
+	var err error
+	if leafW, found := s.tree.Load().Get(artKey); found {
+		err = h.update(pmem.Ptr(leafW), value, h.stripeOf(hashKey))
+	} else {
+		err = ErrNotFound
 	}
-	return h.update(pmem.Ptr(leafW), value, h.stripeOf(hashKey))
+	s.endWrite()
+	hot := err == nil && h.noteWrite(s, 1)
+	s.mu.Unlock()
+	if hot {
+		h.maybeSplit(hashKey)
+	}
+	return err
 }
 
 // Get looks a key up (Algorithm 4) and returns a copy of its value.
@@ -221,16 +233,15 @@ func (h *HART) GetInto(key, dst []byte) ([]byte, bool) {
 	if h.validate(key, nil) != nil {
 		return nil, false
 	}
-	hashKey, artKey := h.splitKey(key)
 	if !h.opts.LockedReads {
 		for i := 0; i < optimisticAttempts; i++ {
-			v, ok, conclusive := h.readOptimistic(hashKey, artKey, dst, true)
+			v, ok, conclusive := h.readOptimistic(key, dst, true)
 			if conclusive {
 				return v, ok
 			}
 		}
 	}
-	return h.lockedGet(hashKey, artKey, dst, true)
+	return h.lockedGet(key, dst, true)
 }
 
 // Contains reports whether key is present. Unlike Get it neither copies
@@ -240,16 +251,15 @@ func (h *HART) Contains(key []byte) bool {
 	if h.validate(key, nil) != nil {
 		return false
 	}
-	hashKey, artKey := h.splitKey(key)
 	if !h.opts.LockedReads {
 		for i := 0; i < optimisticAttempts; i++ {
-			_, ok, conclusive := h.readOptimistic(hashKey, artKey, nil, false)
+			_, ok, conclusive := h.readOptimistic(key, nil, false)
 			if conclusive {
 				return ok
 			}
 		}
 	}
-	_, ok := h.lockedGet(hashKey, artKey, nil, false)
+	_, ok := h.lockedGet(key, nil, false)
 	return ok
 }
 
@@ -257,9 +267,10 @@ func (h *HART) Contains(key []byte) bool {
 // reports (value, found, conclusive); conclusive=false means a writer
 // interfered and the attempt tells us nothing. The protocol:
 //
-//  1. Load the current directory snapshot and resolve the shard. No
-//     shard → conclusively absent (the snapshot is the linearization
-//     point; snapshots are immutable).
+//  1. Load the current directory snapshot, route the key through its
+//     geometry and resolve the shard. No shard → conclusively absent
+//     (the snapshot is the linearization point; snapshots — table and
+//     split set together — are immutable).
 //  2. Load the shard seqlock. Odd → a writer is mid-section; retry.
 //  3. Load the published tree and search it. The walk touches only
 //     immutable DRAM nodes, so it needs no validation; not-found is
@@ -270,11 +281,14 @@ func (h *HART) Contains(key []byte) bool {
 //  5. Re-load seq. Unchanged-and-even proves no writer entered the
 //     shard between steps 2 and 5, so every PM word read belongs to one
 //     consistent committed state.
-func (h *HART) readOptimistic(hashKey, artKey, dst []byte, needValue bool) (v []byte, found, conclusive bool) {
-	s, ok := h.dir.Load().Get(hashKey)
+func (h *HART) readOptimistic(key, dst []byte, needValue bool) (v []byte, found, conclusive bool) {
+	d := h.dir.Load()
+	hashKey := d.route(key, h.opts.HashKeyLen)
+	s, ok := d.tab.Get(hashKey)
 	if !ok {
 		return nil, false, true
 	}
+	artKey := key[len(hashKey):]
 	if s.pending.Load() != nil {
 		// Lazily recovered shard whose ART is not built yet: the published
 		// tree is empty, so a miss would be wrong. Inconclusive — the
@@ -320,12 +334,13 @@ func (h *HART) readOptimistic(hashKey, artKey, dst []byte, needValue bool) (v []
 // lockedGet is Algorithm 4 under the shard read lock: the fallback for
 // readers that kept losing seqlock races, and the whole read path in
 // LockedReads mode.
-func (h *HART) lockedGet(hashKey, artKey, dst []byte, needValue bool) ([]byte, bool) {
-	s := h.lockShardR(hashKey) // lines 1-2
+func (h *HART) lockedGet(key, dst []byte, needValue bool) ([]byte, bool) {
+	s, hashKey := h.lockShardR(key) // lines 1-2
 	if s == nil {
 		return nil, false // lines 3-4
 	}
 	defer s.mu.RUnlock()
+	artKey := key[len(hashKey):]
 	leafW, found := s.tree.Load().Get(artKey) // line 5
 	if !found {
 		return nil, false // lines 6-7
@@ -353,23 +368,37 @@ func (h *HART) lockedGet(hashKey, artKey, dst []byte, needValue bool) ([]byte, b
 	return v, true
 }
 
-// Delete removes a key (Algorithm 5).
+// Delete removes a key (Algorithm 5). A successful delete under the
+// elastic directory additionally nominates the shard's split group for a
+// merge — after the shard lock is released, since merging locks whole
+// groups.
 func (h *HART) Delete(key []byte) error {
 	if err := h.validate(key, nil); err != nil {
 		return err
 	}
-	hashKey, artKey := h.splitKey(key)
-	s := h.lockShardW(hashKey, false) // lines 1-2
-	if s == nil {
-		return ErrNotFound // lines 3-4
+	hashKey, err := h.deleteLocked(key)
+	if hashKey != nil {
+		h.maybeMerge(hashKey)
 	}
+	return err
+}
+
+// deleteLocked is Delete's under-the-shard-lock body. The returned
+// hashKey is non-nil exactly when the record was removed (the commit
+// point passed, whatever later cleanup reported).
+func (h *HART) deleteLocked(key []byte) ([]byte, error) {
+	s, hashKey := h.lockShardW(key, false) // lines 1-2
+	if s == nil {
+		return nil, ErrNotFound // lines 3-4
+	}
+	artKey := key[len(hashKey):]
 	defer s.mu.Unlock()
 	s.beginWrite()
 	defer s.endWrite()
 
 	leafW, found := s.tree.Load().Get(artKey) // line 5
 	if !found {
-		return ErrNotFound // lines 6-7
+		return nil, ErrNotFound // lines 6-7
 	}
 	leaf := pmem.Ptr(leafW)
 
@@ -390,7 +419,7 @@ func (h *HART) Delete(key []byte) error {
 	if err := h.alloc.ResetBit(leaf); err != nil {
 		rb, _, _ := s.tree.Load().CowInsert(artKey, uint64(leaf))
 		s.tree.Store(rb)
-		return err
+		return nil, err
 	}
 
 	// The leaf-bit reset above is the commit point: from here the delete
@@ -426,17 +455,17 @@ func (h *HART) Delete(key []byte) error {
 	h.size.Add(-1)
 	// Lines 15-16: free the ART if it became empty.
 	h.removeShardIfEmpty(hashKey, s)
-	return firstErr
+	return hashKey, firstErr
 }
 
 // GetLeaf returns the PM address of a key's leaf (tests and fsck).
 func (h *HART) GetLeaf(key []byte) (pmem.Ptr, bool) {
-	hashKey, artKey := h.splitKey(key)
-	s := h.lockShardR(hashKey)
+	s, hashKey := h.lockShardR(key)
 	if s == nil {
 		return pmem.Nil, false
 	}
 	defer s.mu.RUnlock()
+	artKey := key[len(hashKey):]
 	leafW, found := s.tree.Load().Get(artKey)
 	if !found {
 		return pmem.Nil, false

@@ -118,9 +118,13 @@ func (h *HART) recover() error {
 		keys[i] = bs.hk
 		shards[i] = bs.s
 	}
-	dir := hashdir.NewFromSorted(keys, shards)
+	// The split geometry was installed from the superblock before recovery
+	// started (Open) and cannot change mid-recovery (no concurrent ops),
+	// so the snapshot it rides in carries the same splits the leaves were
+	// just grouped under.
+	splits := h.dir.Load().splits
 	h.dirMu.Lock()
-	h.dir.Store(dir)
+	h.dir.Store(&dirTable{tab: hashdir.NewFromSorted(keys, shards), splits: splits})
 	h.dirMu.Unlock()
 	h.size.Store(int64(scan.live))
 	if h.opts.LazyRecovery {
@@ -202,12 +206,20 @@ func (sc *leafScan) partition(w int) []recLeaf {
 
 // scanLeaves walks every leaf chunk with up to `workers` goroutines (one
 // per allocator stripe), collecting per-stripe live/dead sets and
-// partitioning the live leaves by hash key for the build phase. Each live
-// leaf's key is read exactly once; under LazyRecovery only the leading
-// hash-key bytes are read — for the default kh <= 7 that is a single
-// 8-byte load of the keyLen byte plus the first seven key bytes.
+// partitioning the live leaves by routed directory prefix for the build
+// phase. Each live leaf's key is read exactly once; under LazyRecovery
+// only the leading rd = max(kh, longest split prefix + 1) bytes are read
+// — maxDirDepth caps rd at 7, so that is a single 8-byte load of the
+// keyLen byte plus the first seven key bytes. Routing the truncated key
+// is exact: rd exceeds every split prefix, so Route never wants a byte
+// the truncation dropped.
 func (h *HART) scanLeaves(workers int) (*leafScan, error) {
 	kh := h.opts.HashKeyLen
+	splits := h.dir.Load().splits
+	rd := kh // lazy read width: enough bytes to route any key
+	if m := splits.MaxLen(); m+1 > rd {
+		rd = m + 1
+	}
 	lazy := h.opts.LazyRecovery
 	sc := &leafScan{}
 	for st := range sc.stripes {
@@ -226,7 +238,7 @@ func (h *HART) scanLeaves(workers int) (*leafScan, error) {
 			ss.vals = append(ss.vals, vp)
 		}
 		var key []byte
-		if lazy && kh <= 7 {
+		if lazy && rd <= 7 {
 			// keyLen and key[0..6] share one aligned word (leaf layout:
 			// +8 keyLen, +9 key; the arena is little-endian).
 			kw := h.arena.Read8(leaf + lfKeyLen)
@@ -235,8 +247,8 @@ func (h *HART) scanLeaves(workers int) (*leafScan, error) {
 				ss.err = fmt.Errorf("hart: recovery found live leaf %d with empty key", leaf)
 				return false
 			}
-			if n > kh {
-				n = kh
+			if n > rd {
+				n = rd
 			}
 			key = ss.keys.alloc(n)
 			for i := range key {
@@ -251,15 +263,17 @@ func (h *HART) scanLeaves(workers int) (*leafScan, error) {
 			if n > MaxKeyLen {
 				n = MaxKeyLen
 			}
-			if lazy && n > kh {
-				n = kh
+			if lazy && n > rd {
+				n = rd
 			}
 			key = ss.keys.alloc(n)
 			h.arena.ReadAt(leaf+lfKey, key)
 		}
-		hk := key
-		if len(hk) > kh {
-			hk = key[:kh]
+		hk := splits.Route(key, kh)
+		if lazy {
+			// The deferred full-key read only needs the shard assignment;
+			// keep just the routed prefix.
+			key = hk
 		}
 		w := int(fnv32(hk)) % workers
 		ss.buckets[w] = append(ss.buckets[w], recLeaf{leaf: leaf, key: key})
@@ -313,6 +327,7 @@ func (h *HART) buildPartition(recs []recLeaf) []builtShard {
 		return nil
 	}
 	kh := h.opts.HashKeyLen
+	splits := h.dir.Load().splits
 	lazy := h.opts.LazyRecovery
 	type shardBuild struct {
 		s     *artShard
@@ -322,9 +337,11 @@ func (h *HART) buildPartition(recs []recLeaf) []builtShard {
 	byHK := make(map[string]*shardBuild)
 	out := make([]builtShard, 0, len(byHK))
 	for _, r := range recs {
+		// Under LazyRecovery the scan already reduced r.key to the routed
+		// prefix; eager records carry the full key and route here.
 		hk := r.key
-		if len(hk) > kh {
-			hk = hk[:kh]
+		if !lazy {
+			hk = splits.Route(r.key, kh)
 		}
 		sb := byHK[string(hk)]
 		if sb == nil {
@@ -339,8 +356,8 @@ func (h *HART) buildPartition(recs []recLeaf) []builtShard {
 			sb.pend = append(sb.pend, r.leaf)
 		} else {
 			var artKey []byte
-			if len(r.key) > kh {
-				artKey = r.key[kh:]
+			if len(r.key) > len(hk) {
+				artKey = r.key[len(hk):]
 			}
 			sb.batch.Insert(artKey, uint64(r.leaf))
 		}
@@ -348,7 +365,7 @@ func (h *HART) buildPartition(recs []recLeaf) []builtShard {
 	for _, bs := range out {
 		sb := byHK[bs.hk]
 		if lazy {
-			sb.s.pending.Store(&pendingLeaves{leaves: sb.pend})
+			sb.s.pending.Store(&pendingLeaves{leaves: sb.pend, hkLen: len(bs.hk)})
 		} else {
 			sb.s.tree.Store(sb.batch.Commit())
 		}
@@ -428,7 +445,6 @@ func (h *HART) buildPending(s *artShard) {
 	if pp == nil {
 		return
 	}
-	kh := h.opts.HashKeyLen
 	var keys byteArena
 	recs := make([]recLeaf, 0, len(pp.leaves))
 	for _, leaf := range pp.leaves {
@@ -444,8 +460,8 @@ func (h *HART) buildPending(s *artShard) {
 	b := art.New().BeginBatch()
 	for _, r := range recs {
 		var artKey []byte
-		if len(r.key) > kh {
-			artKey = r.key[kh:]
+		if len(r.key) > pp.hkLen {
+			artKey = r.key[pp.hkLen:]
 		}
 		b.Insert(artKey, uint64(r.leaf))
 	}
@@ -480,7 +496,7 @@ func (h *HART) DrainRecovery() {
 		return
 	}
 	var pend []*artShard
-	h.dir.Load().Range(func(_ []byte, s *artShard) bool {
+	h.dir.Load().tab.Range(func(_ []byte, s *artShard) bool {
 		if s.pending.Load() != nil {
 			pend = append(pend, s)
 		}
@@ -702,6 +718,7 @@ func (h *HART) recoverLegacy() error {
 // worker, so shards are single-writer during rebuild).
 func (h *HART) legacyRebuildIndex(leaves []pmem.Ptr) error {
 	h.size.Store(0)
+	splits := h.dir.Load().splits // installed from the superblock by Open
 	dir := hashdir.New[*artShard]()
 	var dirMu sync.Mutex
 	insert := func(leaf pmem.Ptr) error {
@@ -721,7 +738,7 @@ func (h *HART) legacyRebuildIndex(leaves []pmem.Ptr) error {
 		h.size.Add(1)
 		return nil
 	}
-	defer h.dir.Store(dir)
+	defer func() { h.dir.Store(&dirTable{tab: dir, splits: splits}) }()
 
 	workers := h.opts.RecoveryWorkers
 	if workers <= 1 || len(leaves) < 1024 {

@@ -2,6 +2,8 @@ package core
 
 import (
 	"bytes"
+	"sort"
+	"strings"
 
 	"github.com/casl-sdsu/hart/internal/pmem"
 )
@@ -13,12 +15,21 @@ import (
 // The paper implements range query as one search per known key (Section
 // IV.D) and notes that "the side-effect of hash on range query of HART is
 // very limited because the main part of HART are multiple ART trees".
-// Scan realises that observation as a native ordered scan: the hash
-// directory keeps its keys in a sorted list, the shards are visited in
-// hash-key order, and each ART is traversed in order, so the concatenated
-// output is globally sorted. This is the natural extension the paper's
-// design admits; the benchmark harness measures both this and the paper's
-// per-key method.
+// Scan realises that observation as a native ordered scan: directory
+// entries sort like the records they hold (an entry that is a proper
+// prefix of another holds only its exact key — the dirTable invariant —
+// so entry order is record order), and each ART is traversed in order,
+// making the concatenated output globally sorted.
+//
+// The walk is cursor-based rather than a single directory-snapshot
+// iteration: each step re-resolves the cursor position against the
+// *current* snapshot, visits one entry under its read lock, and advances
+// the cursor past that entry's whole key range. An elastic split or merge
+// between steps therefore cannot hide records — moved keys are either
+// behind the cursor (already visited under the old geometry, and key
+// ranges never revisit) or ahead of it (found via the fresh snapshot).
+// Within one entry the shard read lock excludes geometry changes, since
+// splitting or merging a shard requires its write lock.
 func (h *HART) Scan(start, end []byte, fn func(key, value []byte) bool) {
 	if h.closed.Load() {
 		return
@@ -33,46 +44,62 @@ func (h *HART) Scan(start, end []byte, fn func(key, value []byte) bool) {
 	if end != nil && len(end) == 0 {
 		return
 	}
-	// Directory snapshots are immutable, so the sorted key list can be
-	// iterated without copying or locking.
-	hks := h.dir.Load().SortedKeys()
-
-	for _, hk := range hks {
-		hkb := []byte(hk)
-		// All keys in this shard are hk + suffix. Skip shards wholly
-		// before start or at/after end; derive in-shard bounds otherwise.
-		if end != nil && bytes.Compare(hkb, end) >= 0 {
-			return // sorted order: nothing further can qualify
-		}
-		var artStart, artEnd []byte
-		if start != nil {
-			switch {
-			case bytes.Compare(hkb, start) >= 0:
-				artStart = nil // every key in the shard is >= start
-			case bytes.HasPrefix(start, hkb):
-				// hkb < start here, so the suffix is never empty.
-				artStart = start[len(hkb):]
-			default:
-				continue // every key in the shard is < start
+	cursor := start // next key position to visit; nil = from the beginning
+	for {
+		d := h.dir.Load()
+		keys := d.tab.SortedKeys()
+		var ek, artStart []byte
+		switch {
+		case cursor == nil:
+			if len(keys) == 0 {
+				return
 			}
+			ek = []byte(keys[0])
+		default:
+			rk := d.route(cursor, h.opts.HashKeyLen)
+			if _, ok := d.tab.Get(rk); ok && len(rk) < len(cursor) {
+				// The cursor falls strictly inside a proper-prefix entry:
+				// its remaining records start at cursor's in-shard suffix.
+				// Entries between rk and cursor in sort order cannot hold
+				// qualifying keys: routing stopped at rk, so rk is not a
+				// split prefix, and only split prefixes can have entries
+				// extending them — rk owns its whole prefix range.
+				ek = rk
+				artStart = cursor[len(rk):]
+				break
+			}
+			i := sort.SearchStrings(keys, string(cursor))
+			if i >= len(keys) {
+				return
+			}
+			ek = []byte(keys[i]) // ek >= cursor, so every key in it qualifies
 		}
-		if end != nil && bytes.HasPrefix(end, hkb) {
-			artEnd = end[len(hkb):]
-			// artEnd of length 0 would mean end == hk: handled by the
-			// shard-skip test above, so artEnd here is always non-empty.
+		if end != nil && bytes.Compare(ek, end) >= 0 {
+			return // entries ahead only grow; nothing further qualifies
+		}
+		var artEnd []byte
+		if end != nil && bytes.HasPrefix(end, ek) && len(end) > len(ek) {
+			artEnd = end[len(ek):]
 		}
 
-		s := h.lockShardR(hkb)
-		if s == nil {
+		s, _ := d.tab.Get(ek)
+		if s.pending.Load() != nil {
+			h.drainShard(s)
+		}
+		s.mu.RLock()
+		if s.dead {
+			// Split, merged or emptied since the snapshot: re-resolve the
+			// unchanged cursor against a fresh snapshot.
+			s.mu.RUnlock()
 			continue
 		}
 		stop := false
 		s.tree.Load().AscendRange(artStart, artEnd, func(artKey []byte, leafW uint64) bool {
-			leaf := h.leafKeyValue(leafW)
-			if leaf == nil {
+			rec := h.leafKeyValue(leafW)
+			if rec == nil {
 				return true
 			}
-			if !fn(leaf.key, leaf.value) {
+			if !fn(rec.key, rec.value) {
 				stop = true
 				return false
 			}
@@ -82,7 +109,38 @@ func (h *HART) Scan(start, end []byte, fn func(key, value []byte) bool) {
 		if stop {
 			return
 		}
+		// Advance past everything this entry held. An entry that is a
+		// proper prefix of its sorted successor is residual-only (the
+		// dirTable invariant: it holds just the key ek itself — short keys
+		// and split residuals), so deeper entries own the rest of ek's
+		// prefix range and the cursor must step into that range, not over
+		// it. Entries extending ek sort contiguously right after it, so
+		// checking the immediate successor suffices. Either advance is
+		// strictly greater than the old cursor, so the walk terminates.
+		j := sort.SearchStrings(keys, string(ek))
+		if j+1 < len(keys) && strings.HasPrefix(keys[j+1], string(ek)) {
+			cursor = append(append([]byte(nil), ek...), 0)
+		} else {
+			cursor = prefixSuccessor(ek)
+			if cursor == nil {
+				return // the entry's range extends to the top of the keyspace
+			}
+		}
 	}
+}
+
+// prefixSuccessor returns the smallest byte string greater than every
+// string having p as a prefix, or nil when no such string exists (p is
+// all 0xff).
+func prefixSuccessor(p []byte) []byte {
+	out := append([]byte(nil), p...)
+	for i := len(out) - 1; i >= 0; i-- {
+		if out[i] != 0xff {
+			out[i]++
+			return out[:i+1]
+		}
+	}
+	return nil
 }
 
 // scannedLeaf carries one materialised record.
@@ -116,8 +174,9 @@ func (h *HART) Keys() [][]byte {
 }
 
 // ScanReverse visits records with start <= key < end in descending key
-// order — the mirror of Scan, walking the hash directory's sorted keys
-// backwards and each ART in reverse. (API extension beyond the paper.)
+// order — the mirror of Scan, with the cursor tracking the exclusive
+// upper bound of the keys still to visit. (API extension beyond the
+// paper.)
 func (h *HART) ScanReverse(start, end []byte, fn func(key, value []byte) bool) {
 	if h.closed.Load() {
 		return
@@ -129,40 +188,46 @@ func (h *HART) ScanReverse(start, end []byte, fn func(key, value []byte) bool) {
 	if end != nil && len(end) == 0 {
 		return
 	}
-	hks := h.dir.Load().SortedKeys()
-
-	for i := len(hks) - 1; i >= 0; i-- {
-		hkb := []byte(hks[i])
-		// Every key in the shard is hk + suffix >= hk, so hk >= end means
-		// the whole shard is at/after end. (When end has hkb as a proper
-		// prefix, hkb < end and we fall through; hk >= end with hkb a
-		// prefix of end forces end == hk exactly, which still excludes the
-		// entire shard — the old code fell through in that case and walked
-		// every leaf only for the iterator's end test to discard each one,
-		// an O(shard) descent whose correctness hung on the iterator
-		// distinguishing the empty in-shard bound from an absent one.)
-		if end != nil && bytes.Compare(hkb, end) >= 0 {
-			continue
+	cursorEnd := end // visit keys < cursorEnd next; nil = from the top
+	for {
+		d := h.dir.Load()
+		keys := d.tab.SortedKeys()
+		// Highest entry that can hold a key < cursorEnd: entries at or
+		// above cursorEnd hold only keys >= themselves >= cursorEnd.
+		i := len(keys) - 1
+		if cursorEnd != nil {
+			i = sort.SearchStrings(keys, string(cursorEnd)) - 1
 		}
-		var artStart, artEnd []byte
+		if i < 0 {
+			return
+		}
+		ek := []byte(keys[i])
+		var artStart []byte
 		if start != nil {
 			switch {
-			case bytes.Compare(hkb, start) >= 0:
-				artStart = nil // every key in the shard is >= start
-			case bytes.HasPrefix(start, hkb):
-				// hkb < start here, so the suffix is never empty.
-				artStart = start[len(hkb):]
+			case bytes.Compare(ek, start) >= 0:
+				artStart = nil // every key in the entry is >= start
+			case bytes.HasPrefix(start, ek):
+				// ek < start here, so the suffix is never empty.
+				artStart = start[len(ek):]
 			default:
-				return // sorted descent: everything further is < start
+				return // this entry and everything below it is < start
 			}
 		}
-		if end != nil && bytes.HasPrefix(end, hkb) {
-			// Proper prefix (end == hk was skipped above): never empty.
-			artEnd = end[len(hkb):]
+		var artEnd []byte
+		if cursorEnd != nil && bytes.HasPrefix(cursorEnd, ek) && len(cursorEnd) > len(ek) {
+			// The entry's range straddles the cursor (ek is a proper
+			// prefix): bound the in-shard descent.
+			artEnd = cursorEnd[len(ek):]
 		}
 
-		s := h.lockShardR(hkb)
-		if s == nil {
+		s, _ := d.tab.Get(ek)
+		if s.pending.Load() != nil {
+			h.drainShard(s)
+		}
+		s.mu.RLock()
+		if s.dead {
+			s.mu.RUnlock()
 			continue
 		}
 		stop := false
@@ -181,5 +246,9 @@ func (h *HART) ScanReverse(start, end []byte, fn func(key, value []byte) bool) {
 		if stop {
 			return
 		}
+		if start != nil && bytes.Compare(ek, start) <= 0 {
+			return // keys below ek are all < start
+		}
+		cursorEnd = ek // everything >= ek is done
 	}
 }

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"sort"
+
 	"github.com/casl-sdsu/hart/internal/art"
 	"github.com/casl-sdsu/hart/internal/epalloc"
 	"github.com/casl-sdsu/hart/internal/kv"
@@ -48,6 +50,42 @@ type Stats struct {
 	Arena pmem.Stats
 	// Alloc is the allocator's per-class state.
 	Alloc []epalloc.ClassStats
+	// Dir describes the elastic directory's current geometry and heat.
+	Dir DirStats
+}
+
+// DirStats describes the hash directory's geometry — flat at BaseDepth
+// until elastic splits deepen parts of it — and where the write heat is.
+type DirStats struct {
+	// Entries is the number of directory entries (== ARTs).
+	Entries int
+	// BaseDepth is the configured hash-key length; MaxDepth is the
+	// longest live entry prefix (== BaseDepth when nothing is split).
+	BaseDepth int
+	MaxDepth  int
+	// Splits is the number of currently persisted split prefixes, out of
+	// SplitCap superblock slots.
+	Splits   int
+	SplitCap int
+	// SplitsDone and MergesDone count geometry changes since Open.
+	SplitsDone uint64
+	MergesDone uint64
+	// Hot lists the hottest shards (by heat since the last split/merge
+	// decision), descending, at most eight.
+	Hot []ShardHeat
+}
+
+// ShardHeat is one directory entry's write-activity snapshot.
+type ShardHeat struct {
+	// Prefix is the entry's directory prefix.
+	Prefix string
+	// Heat is the write-op count since the last split/merge decision;
+	// Ops is the shard's cumulative write count.
+	Heat uint64
+	Ops  uint64
+	// Records is the shard's current tree size (0 for a still-pending
+	// lazily recovered shard).
+	Records int
 }
 
 // hash-directory per-entry DRAM cost estimate: map bucket share + string
@@ -66,18 +104,31 @@ func (h *HART) Stats() Stats {
 	}
 	st.Size.PMBytes = st.Arena.Reserved
 
-	dir := h.dir.Load()
-	shards := make([]*artShard, 0, dir.Len())
-	dir.Range(func(_ []byte, s *artShard) bool {
-		shards = append(shards, s)
+	d := h.dir.Load()
+	type namedShard struct {
+		hk string
+		s  *artShard
+	}
+	shards := make([]namedShard, 0, d.tab.Len())
+	d.tab.Range(func(hk []byte, s *artShard) bool {
+		shards = append(shards, namedShard{string(hk), s})
 		return true
 	})
-	dirBytes := dir.DRAMBytes()
+	dirBytes := d.tab.DRAMBytes()
 
 	st.ARTs = len(shards)
 	st.Size.DRAMBytes = int64(st.ARTs)*dirEntryCost + dirBytes
-	for _, s := range shards {
-		ts := s.tree.Load().Stats()
+	st.Dir = DirStats{
+		Entries:    len(shards),
+		BaseDepth:  h.opts.HashKeyLen,
+		MaxDepth:   h.opts.HashKeyLen,
+		Splits:     d.splits.Len(),
+		SplitCap:   int(sbMaxSplits),
+		SplitsDone: h.splitCount.Load(),
+		MergesDone: h.mergeCount.Load(),
+	}
+	for _, ns := range shards {
+		ts := ns.s.tree.Load().Stats()
 		st.ART.Records += ts.Records
 		st.ART.Node4s += ts.Node4s
 		st.ART.Node16s += ts.Node16s
@@ -88,6 +139,19 @@ func (h *HART) Stats() Stats {
 		}
 		st.ART.Bytes += ts.Bytes
 		st.Size.DRAMBytes += ts.Bytes
+		if len(ns.hk) > st.Dir.MaxDepth {
+			st.Dir.MaxDepth = len(ns.hk)
+		}
+		st.Dir.Hot = append(st.Dir.Hot, ShardHeat{
+			Prefix:  ns.hk,
+			Heat:    ns.s.heat.Load(),
+			Ops:     ns.s.ops.Load(),
+			Records: ts.Records,
+		})
+	}
+	sort.SliceStable(st.Dir.Hot, func(i, j int) bool { return st.Dir.Hot[i].Heat > st.Dir.Hot[j].Heat })
+	if len(st.Dir.Hot) > 8 {
+		st.Dir.Hot = st.Dir.Hot[:8]
 	}
 	return st
 }

@@ -1,0 +1,175 @@
+package hashdir
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestSplitsRoute(t *testing.T) {
+	const kh = 2
+	s := NoSplits()
+	cases := []struct {
+		key  string
+		want string
+	}{
+		{"", ""},
+		{"a", "a"},
+		{"ab", "ab"},
+		{"abcdef", "ab"},
+	}
+	for _, c := range cases {
+		if got := s.Route([]byte(c.key), kh); string(got) != c.want {
+			t.Fatalf("NoSplits.Route(%q) = %q, want %q", c.key, got, c.want)
+		}
+	}
+
+	s = NewSplits([]string{"ab", "abc"})
+	cases = []struct {
+		key  string
+		want string
+	}{
+		{"a", "a"},       // shorter than kh: full key
+		{"ab", "ab"},     // exactly a split prefix: the residual entry
+		{"abX", "abX"},   // one past the split: child entry
+		{"abc", "abc"},   // exactly the deeper split prefix
+		{"abcd", "abcd"}, // child of the deeper split
+		{"abcdef", "abcd"},
+		{"aZcdef", "aZ"}, // untouched prefix: base depth
+		{"zzzz", "zz"},
+	}
+	for _, c := range cases {
+		if got := s.Route([]byte(c.key), kh); string(got) != c.want {
+			t.Fatalf("Route(%q) = %q, want %q", c.key, got, c.want)
+		}
+	}
+	if s.MaxLen() != 3 || s.Len() != 2 {
+		t.Fatalf("MaxLen/Len = %d/%d, want 3/2", s.MaxLen(), s.Len())
+	}
+}
+
+func TestSplitsWithWithoutImmutable(t *testing.T) {
+	s0 := NoSplits()
+	s1 := s0.With([]byte("ab"))
+	s2 := s1.With([]byte("abc"))
+	s3 := s2.Without([]byte("ab"))
+
+	if s0.Len() != 0 || s0.Has([]byte("ab")) {
+		t.Fatal("With mutated the empty set")
+	}
+	if !s1.Has([]byte("ab")) || s1.Has([]byte("abc")) || s1.MaxLen() != 2 {
+		t.Fatalf("s1 wrong: %v", s1.List())
+	}
+	if !s2.Has([]byte("ab")) || !s2.Has([]byte("abc")) {
+		t.Fatalf("s2 wrong: %v", s2.List())
+	}
+	if s3.Has([]byte("ab")) || !s3.Has([]byte("abc")) || s3.MaxLen() != 3 {
+		t.Fatalf("s3 wrong: %v", s3.List())
+	}
+	// s2 unchanged by the Without.
+	if !s2.Has([]byte("ab")) {
+		t.Fatal("Without mutated its receiver")
+	}
+	// Idempotent edges.
+	if s1.With([]byte("ab")).Len() != 1 {
+		t.Fatal("duplicate With changed the set")
+	}
+	if s0.Without([]byte("zz")).Len() != 0 {
+		t.Fatal("Without on absent prefix changed the set")
+	}
+	want := []string{"ab", "abc"}
+	got := s2.List()
+	if len(got) != 2 || got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("List = %v, want %v", got, want)
+	}
+}
+
+// TestNewFromSortedVariableDepth covers the bulk constructor with the
+// mixed-length entry names an elastic directory produces: short keys,
+// base-depth prefixes, split residuals and their children.
+func TestNewFromSortedVariableDepth(t *testing.T) {
+	keys := []string{"a", "ab", "aba", "abz", "ac", "b", "zzzzzzz"}
+	vals := make([]int, len(keys))
+	for i := range vals {
+		vals[i] = i + 1
+	}
+	tab := NewFromSorted(keys, vals)
+	if tab.Len() != len(keys) {
+		t.Fatalf("Len = %d, want %d", tab.Len(), len(keys))
+	}
+	for i, k := range keys {
+		v, ok := tab.Get([]byte(k))
+		if !ok || v != i+1 {
+			t.Fatalf("Get(%q) = (%d,%v), want (%d,true)", k, v, ok, i+1)
+		}
+	}
+	if _, ok := tab.Get([]byte("abq")); ok {
+		t.Fatal("Get on absent variable-depth key succeeded")
+	}
+	got := tab.SortedKeys()
+	for i, k := range keys {
+		if got[i] != k {
+			t.Fatalf("SortedKeys[%d] = %q, want %q", i, got[i], k)
+		}
+	}
+	// Mutations after bulk construction keep working across depths.
+	tab.Put([]byte("abq"), 99)
+	if v, ok := tab.Get([]byte("abq")); !ok || v != 99 {
+		t.Fatal("Put/Get after NewFromSorted failed")
+	}
+	if !tab.Delete([]byte("ab")) {
+		t.Fatal("Delete of residual-depth key failed")
+	}
+	if _, ok := tab.Get([]byte("ab")); ok {
+		t.Fatal("deleted key still present")
+	}
+	if _, ok := tab.Get([]byte("aba")); !ok {
+		t.Fatal("sibling lost by Delete")
+	}
+}
+
+func TestNewFromSortedVariableDepthLarge(t *testing.T) {
+	// A larger mixed-depth set keeps Get/Range consistent after Clone.
+	var keys []string
+	for i := 0; i < 64; i++ {
+		keys = append(keys, fmt.Sprintf("%02d", i))
+	}
+	for i := 0; i < 64; i++ {
+		keys = append(keys, fmt.Sprintf("ab%02d", i)) // depth-4 children
+	}
+	keys = append(keys, "ab") // residual
+	vals := make([]string, len(keys))
+	for i, k := range keys {
+		vals[i] = "v" + k
+	}
+	// NewFromSorted requires ascending keys.
+	type pair struct{ k, v string }
+	pairs := make([]pair, len(keys))
+	for i := range keys {
+		pairs[i] = pair{keys[i], vals[i]}
+	}
+	for i := 1; i < len(pairs); i++ {
+		for j := i; j > 0 && pairs[j].k < pairs[j-1].k; j-- {
+			pairs[j], pairs[j-1] = pairs[j-1], pairs[j]
+		}
+	}
+	sk := make([]string, len(pairs))
+	sv := make([]string, len(pairs))
+	for i, p := range pairs {
+		sk[i], sv[i] = p.k, p.v
+	}
+	tab := NewFromSorted(sk, sv)
+	cl := tab.Clone()
+	for _, tt := range []*Table[string]{tab, cl} {
+		n := 0
+		tt.Range(func(k []byte, v string) bool {
+			if v != "v"+string(k) {
+				t.Fatalf("Range saw (%q,%q)", k, v)
+			}
+			n++
+			return true
+		})
+		if n != len(sk) {
+			t.Fatalf("Range visited %d, want %d", n, len(sk))
+		}
+	}
+}

@@ -17,6 +17,7 @@ package workload
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 	"sort"
 )
@@ -242,6 +243,11 @@ type Distribution struct {
 	pick func(rng *rand.Rand, n int) int
 }
 
+// Pick draws an index in [0, n) from the distribution. Distributions are
+// stateful (they cache spread constants per n) and not safe for
+// concurrent use; give each goroutine its own Distribution value.
+func (d Distribution) Pick(rng *rand.Rand, n int) int { return d.pick(rng, n) }
+
 // Uniform returns YCSB's uniform request distribution (every live record
 // equally likely), the distribution all the paper's mixes use.
 func Uniform() Distribution {
@@ -264,6 +270,65 @@ func Zipfian(s float64) Distribution {
 				zn = n
 			}
 			return int(z.Uint64())
+		},
+	}
+}
+
+// ZipfTheta returns the YCSB-style zipfian request distribution with
+// skew parameter theta in (0, 1) — the Gray et al. "Quickly generating
+// billion-record synthetic databases" generator YCSB popularised, where
+// theta = 0.99 is the standard "zipfian" setting. It covers the skew
+// range Go's rand.Zipf cannot (rand.NewZipf requires s > 1). Rank 0 is
+// the hottest item; popularity decays as 1/rank^theta.
+func ZipfTheta(theta float64) Distribution {
+	if theta <= 0 || theta >= 1 {
+		panic(fmt.Sprintf("workload: ZipfTheta skew %v outside (0, 1)", theta))
+	}
+	// The spread constants depend only on theta and n; cache them per n
+	// (benchmarks call pick with a fixed or slowly growing n).
+	var (
+		zn           int
+		zetaN, eta   float64
+		alpha        = 1 / (1 - theta)
+		zeta2        = 1 + math.Pow(0.5, theta)
+		lastZetaArg  int
+		lastZetaProg float64
+	)
+	zeta := func(n int) float64 {
+		// Incremental harmonic-power sum: extend the cached partial sum
+		// when n only grew, which makes the live-set growth in
+		// GenerateDist O(1) amortised per op.
+		if n < lastZetaArg {
+			lastZetaArg, lastZetaProg = 0, 0
+		}
+		for i := lastZetaArg + 1; i <= n; i++ {
+			lastZetaProg += 1 / math.Pow(float64(i), theta)
+		}
+		lastZetaArg = n
+		return lastZetaProg
+	}
+	return Distribution{
+		Name: "zipfian",
+		pick: func(rng *rand.Rand, n int) int {
+			if n != zn {
+				zetaN = zeta(n)
+				eta = (1 - math.Pow(2/float64(n), 1-theta)) / (1 - zeta2/zetaN)
+				zn = n
+			}
+			u := rng.Float64()
+			uz := u * zetaN
+			switch {
+			case uz < 1:
+				return 0
+			case uz < zeta2:
+				return 1
+			default:
+				r := int(float64(n) * math.Pow(eta*u-eta+1, alpha))
+				if r >= n {
+					r = n - 1
+				}
+				return r
+			}
 		},
 	}
 }

@@ -44,3 +44,14 @@ go test -race -count=1 -run 'Open|CleanFlag|Close' ./internal/core/
 go test -race -count=1 -run 'Open|Restore|Helper' .
 go test -race -count=1 -run 'FileReattach' ./internal/modelcheck/
 go test -race -count=1 -run 'RunRestartSmoke' ./internal/bench/
+
+# Elastic directory: the split/merge boundary matrix (min/max depth,
+# uneven siblings, slot exhaustion, the reopen matrix across every
+# recovery mode) and concurrent split-vs-PutBatch/Scan churn under the
+# race detector, then the crash-mid-split/mid-merge model-check sweeps
+# (seeded histories plus the fixed split→merge trace, including crash
+# during recovery of a half-split directory) and the skew benchmark
+# harness at toy scale. scripts/benchdiff.sh gates BENCH_skew.json.
+go test -race -count=1 -run 'Elastic|SplitsRoute|VariableDepth' ./internal/core/ ./internal/hashdir/
+go test -count=1 -run 'ModelCheckElastic' ./internal/modelcheck/
+go test -race -count=1 -run 'RunSkewSmoke' ./internal/bench/
