@@ -25,17 +25,20 @@ import (
 
 	"github.com/casl-sdsu/hart/internal/bench"
 	"github.com/casl-sdsu/hart/internal/latency"
+	"github.com/casl-sdsu/hart/internal/obs"
 	"github.com/casl-sdsu/hart/internal/workload"
 )
 
 func main() {
 	var (
-		fig     = flag.String("fig", "all", "figure to run: all, 4, 5, 6, 7, 8, 9, 10a, 10b, 10c, 10d, summary, ablation, readpath, writepath, recovery, restart, skew")
+		fig     = flag.String("fig", "all", "figure to run: all, 4, 5, 6, 7, 8, 9, 10a, 10b, 10c, 10d, summary, ablation, readpath, writepath, recovery, restart, skew, obs")
 		rpOut   = flag.String("readpath-out", "BENCH_readpath.json", "output file for -fig readpath")
 		wpOut   = flag.String("writepath-out", "BENCH_writepath.json", "output file for -fig writepath")
 		recOut  = flag.String("recovery-out", "BENCH_recovery.json", "output file for -fig recovery")
 		rstOut  = flag.String("restart-out", "BENCH_restart.json", "output file for -fig restart")
 		skOut   = flag.String("skew-out", "BENCH_skew.json", "output file for -fig skew")
+		obsOut  = flag.String("obs-out", "BENCH_obs.json", "output file for -fig obs")
+		mAddr   = flag.String("metrics-addr", "", "serve Prometheus /metrics and expvar /debug/vars for the store under measurement (e.g. :9090)")
 		dist    = flag.String("dist", "uniform", "mixed-workload request distribution: uniform (the paper's) or zipf")
 		theta   = flag.Float64("theta", 0.99, "zipfian skew parameter for -dist zipf, in (0, 1)")
 		records = flag.Int("records", 100000, "Sequential/Random record count")
@@ -93,6 +96,13 @@ func main() {
 	})
 	cfg = cfg.WithDefaults()
 
+	if *mAddr != "" {
+		srv := obs.Serve(*mAddr, "hart", bench.LiveSnapshot, func(err error) {
+			fmt.Fprintf(os.Stderr, "hartbench: metrics server: %v\n", err)
+		})
+		defer srv.Close()
+	}
+
 	var (
 		rep bench.Report
 		err error
@@ -134,6 +144,9 @@ func main() {
 		return
 	case "skew":
 		runSkew(cfg, *skOut)
+		return
+	case "obs":
+		runObs(cfg, *obsOut)
 		return
 	case "summary":
 		rep, err = runBasics(cfg)
@@ -236,6 +249,26 @@ func runRestart(cfg bench.Config, out string) {
 // splitting).
 func runSkew(cfg bench.Config, out string) {
 	rep, err := bench.RunSkew(cfg)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	rep.FprintTable(os.Stdout)
+	f, err := os.Create(out)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	defer f.Close()
+	if err := rep.WriteJSON(f); err != nil {
+		fatalf("%v", err)
+	}
+	fmt.Fprintf(os.Stderr, "hartbench: wrote %s\n", out)
+}
+
+// runObs runs the metrics-off vs metrics-on overhead comparison with a
+// live Prometheus scrape and records it as JSON (the overhead evidence
+// for the observability layer).
+func runObs(cfg bench.Config, out string) {
+	rep, err := bench.RunObs(cfg)
 	if err != nil {
 		fatalf("%v", err)
 	}

@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	hartfsck [-workers N] /tmp/store.pm
+//	hartfsck [-workers N] [-events] /tmp/store.pm
 package main
 
 import (
@@ -20,9 +20,10 @@ import (
 
 func main() {
 	workers := flag.Int("workers", 0, "recovery worker count (0 or 1 = serial)")
+	events := flag.Bool("events", false, "print the recovery's event trail (open, ulog replays, phase timings)")
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: hartfsck [-workers N] <image-file>")
+		fmt.Fprintln(os.Stderr, "usage: hartfsck [-workers N] [-events] <image-file>")
 		os.Exit(2)
 	}
 	path := flag.Arg(0)
@@ -70,6 +71,18 @@ func main() {
 	for _, cs := range st.Alloc {
 		fmt.Printf("  class %-8s: %6d used, %4d chunks, %4d free chunks\n",
 			cs.Name, cs.Used, cs.Chunks, cs.FreeChunks)
+	}
+	if *events {
+		fmt.Println("  events:")
+		for _, ev := range db.Events() {
+			fmt.Printf("    #%-4d %-20s %-8s", ev.Seq, ev.Kind, ev.Detail)
+			if ev.Kind == "recover.phase" {
+				fmt.Printf(" items=%d took=%v", ev.A, time.Duration(ev.B).Round(time.Microsecond))
+			} else if ev.A != 0 || ev.B != 0 {
+				fmt.Printf(" a=%d b=%d", ev.A, ev.B)
+			}
+			fmt.Println()
+		}
 	}
 	if err := db.Check(); err != nil {
 		fail("FSCK FAILED: %v", err)

@@ -29,15 +29,18 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strings"
 
 	hart "github.com/casl-sdsu/hart"
+	"github.com/casl-sdsu/hart/internal/obs"
 )
 
 func main() {
 	var (
 		dbPath = flag.String("db", "", "PM image file (created if missing; empty = in-memory only)")
 		size   = flag.Int64("size", 64<<20, "arena size for a fresh store")
+		mAddr  = flag.String("metrics-addr", "", "serve Prometheus /metrics and expvar /debug/vars for this store (e.g. :9090)")
 	)
 	flag.Parse()
 
@@ -70,6 +73,13 @@ func main() {
 			fmt.Fprintln(os.Stderr, "hartkv:", err)
 			os.Exit(1)
 		}
+	}
+
+	if *mAddr != "" {
+		srv := obs.Serve(*mAddr, "hart", db.Metrics, func(err error) {
+			fmt.Fprintf(os.Stderr, "hartkv: metrics server: %v\n", err)
+		})
+		defer srv.Close()
 	}
 
 	sc := bufio.NewScanner(os.Stdin)
@@ -137,6 +147,32 @@ func main() {
 				fmt.Printf("class %-8s: %d used, %d chunks (+%d free), %.2f MB PM\n",
 					cs.Name, cs.Used, cs.Chunks, cs.FreeChunks, float64(cs.PMBytes)/(1<<20))
 			}
+			d := st.Dir
+			fmt.Printf("directory: %d entries, depth %d..%d, %d/%d split prefixes (%d splits, %d merges since open)\n",
+				d.Entries, d.BaseDepth, d.MaxDepth, d.Splits, d.SplitCap, d.SplitsDone, d.MergesDone)
+			m := db.Metrics()
+			for _, name := range sortedNames(m.Counters) {
+				fmt.Printf("  %-22s %d\n", name, m.Counters[name])
+			}
+			for _, name := range sortedNames(m.Hists) {
+				hv := m.Hists[name]
+				fmt.Printf("  %-22s n=%d mean=%.0fns p50=%dns p99=%dns max=%dns\n",
+					name+" (ns)", hv.Count, hv.MeanNs, hv.P50Ns, hv.P99Ns, hv.MaxNs)
+			}
+			if len(m.Hists) == 0 {
+				fmt.Println("  (latency histograms off — `metrics on` to enable)")
+			}
+		case "metrics":
+			if len(fields) != 2 || (fields[1] != "on" && fields[1] != "off") {
+				fmt.Println("usage: metrics on|off   (toggle latency histograms)")
+				break
+			}
+			db.EnableMetrics(fields[1] == "on")
+			fmt.Println("metrics", fields[1])
+		case "events":
+			for _, ev := range db.Events() {
+				fmt.Printf("#%d %-18s %-10s a=%d b=%d\n", ev.Seq, ev.Kind, ev.Detail, ev.A, ev.B)
+			}
 		case "check":
 			if err := db.Check(); err != nil {
 				fmt.Println("FSCK FAILED:", err)
@@ -182,10 +218,20 @@ func main() {
 			}
 			return
 		case "help":
-			fmt.Println("commands: put get del scan len stats check sync quit")
+			fmt.Println("commands: put get del scan len stats metrics events check sync quit")
 		default:
 			fmt.Printf("unknown command %q (try help)\n", cmd)
 		}
 		fmt.Print("> ")
 	}
+}
+
+// sortedNames returns a map's keys in sorted order for stable output.
+func sortedNames[V any](m map[string]V) []string {
+	names := make([]string, 0, len(m))
+	for n := range m {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
 }

@@ -1,0 +1,28 @@
+package bench
+
+import (
+	"sync/atomic"
+
+	"github.com/casl-sdsu/hart/internal/obs"
+)
+
+// The live-snapshot hook behind hartbench's -metrics-addr flag: each
+// experiment publishes its store's Metrics closure as it comes up, so an
+// external Prometheus scrape (or a curl of /metrics) during a run sees
+// the store currently under measurement. Snapshot assembly reads only
+// published atomics and immutable directory tables, so a scrape racing a
+// store's Close is safe — it just reports the final totals.
+
+var liveSnap atomic.Pointer[func() obs.Snapshot]
+
+// setLive installs fn as the process's live metrics source.
+func setLive(fn func() obs.Snapshot) { liveSnap.Store(&fn) }
+
+// LiveSnapshot returns the most recently published store's snapshot, or
+// a zero Snapshot before any experiment store exists.
+func LiveSnapshot() obs.Snapshot {
+	if p := liveSnap.Load(); p != nil {
+		return (*p)()
+	}
+	return obs.Snapshot{}
+}

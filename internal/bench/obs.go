@@ -1,0 +1,202 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/casl-sdsu/hart/internal/obs"
+)
+
+// Observability-overhead experiment (BENCH_obs.json): the same store and
+// workload measured with metrics off (the default: counters only, no
+// clock reads) and on (latency histograms around every operation and
+// every arena persist). The acceptance bar is the PR 9 design budget —
+// the off mode stays within noise of an uninstrumented build with zero
+// allocations per read, the on mode costs at most ~10% — and a live
+// Prometheus scrape of the instrumented store must return non-zero op
+// counters and sane p99s.
+
+// ObsResult is one measured cell, shaped like a ReadPathResult so
+// benchdiff.sh's generic (mode, op, threads) → ns_per_op reader applies.
+type ObsResult struct {
+	// Mode is "off" (metrics disabled) or "on" (histograms enabled).
+	Mode string `json:"mode"`
+	// Op is Get or Put.
+	Op string `json:"op"`
+	// Threads is the GOMAXPROCS / parallel-worker count.
+	Threads int `json:"threads"`
+	// NsPerOp is the mean wall-clock cost per operation.
+	NsPerOp float64 `json:"ns_per_op"`
+	// AllocsPerOp is the mean heap allocations per operation (the off-mode
+	// Get row must report 0).
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	// MOPS is millions of operations per second (all workers combined).
+	MOPS float64 `json:"mops"`
+}
+
+// ObsReport is the BENCH_obs.json document.
+type ObsReport struct {
+	// Records is the preloaded record count; ValueSize its payload bytes.
+	Records   int `json:"records"`
+	ValueSize int `json:"value_size"`
+	NumCPU    int `json:"num_cpu"`
+	Results   []ObsResult `json:"results"`
+	// OverheadPct maps "<op>/t<threads>" to the enabled-mode cost increase
+	// in percent: (on − off) ÷ off × 100.
+	OverheadPct map[string]float64 `json:"overhead_pct"`
+	// PromOpsGet and PromGetP99Ns are scraped from a live HTTP /metrics
+	// exposition of the instrumented store: the hart_ops_get counter and
+	// the hart_ops_get_ns{quantile="0.99"} summary value.
+	PromOpsGet   uint64  `json:"prom_ops_get"`
+	PromGetP99Ns float64 `json:"prom_get_p99_ns"`
+	// Metrics is the store's final snapshot.
+	Metrics *obs.Snapshot `json:"metrics,omitempty"`
+}
+
+// RunObs measures the metrics-overhead comparison and returns the report.
+func RunObs(c Config) (*ObsReport, error) {
+	c = c.WithDefaults()
+	// Power-of-two record count for mask indexing.
+	n := 1
+	for n*2 <= c.Records {
+		n *= 2
+	}
+	c.Records = n
+
+	rep := &ObsReport{
+		Records:     c.Records,
+		ValueSize:   c.ValueSize,
+		NumCPU:      runtime.NumCPU(),
+		OverheadPct: map[string]float64{},
+	}
+	threads := c.PathThreads
+	if len(threads) == 0 {
+		threads = []int{1, 4, 8}
+	}
+
+	// One store serves both modes: EnableMetrics only flips the gates, so
+	// the off/on comparison sees identical data and directory geometry.
+	h, keys, err := readPathIndex(c, false)
+	if err != nil {
+		return nil, err
+	}
+	defer h.Close()
+
+	// Each (op, threads) cell measures off and on back-to-back and keeps
+	// the best of several interleaved reps per mode: the comparison
+	// divides two measurements of the same sub-microsecond op, so both
+	// scheduler noise and slow ambient drift (a later pass running on a
+	// busier machine) would otherwise dominate the ratio. The minimum of
+	// several runs is the standard estimator for the uncontended cost.
+	const reps = 3
+	for _, t := range threads {
+		for _, op := range []string{"Get", "Put"} {
+			best := map[string]ObsResult{}
+			for i := 0; i < reps; i++ {
+				for _, mode := range []string{"off", "on"} {
+					fmt.Fprintf(c.Out, "obs: metrics=%s %s threads=%d rep %d/%d...\n", mode, op, t, i+1, reps)
+					h.EnableMetrics(mode == "on")
+					var rr ObsResult
+					if op == "Get" {
+						g := benchReadOp(h, keys, t, "Get")
+						rr = ObsResult{Op: g.Op, Threads: g.Threads, NsPerOp: g.NsPerOp,
+							AllocsPerOp: g.AllocsPerOp, MOPS: g.MOPS}
+					} else {
+						w := benchWriteOp(h, keys, t, "Put", c.ValueSize)
+						rr = ObsResult{Op: w.Op, Threads: w.Threads, NsPerOp: w.NsPerOp,
+							AllocsPerOp: w.AllocsPerOp, MOPS: w.MOPS}
+					}
+					rr.Mode = mode
+					if b, ok := best[mode]; !ok || rr.NsPerOp < b.NsPerOp {
+						best[mode] = rr
+					}
+				}
+			}
+			key := fmt.Sprintf("%s/t%d", op, t)
+			rep.Results = append(rep.Results, best["off"], best["on"])
+			rep.OverheadPct[key] = (best["on"].NsPerOp - best["off"].NsPerOp) / best["off"].NsPerOp * 100
+		}
+	}
+	h.EnableMetrics(true)
+
+	// Live scrape: serve the store's snapshot over HTTP on an ephemeral
+	// port and read the exposition back like a Prometheus collector would.
+	opsGet, p99, err := scrapeProm(h.Metrics)
+	if err != nil {
+		return nil, fmt.Errorf("bench: prometheus scrape: %w", err)
+	}
+	if opsGet == 0 {
+		return nil, fmt.Errorf("bench: scraped hart_ops_get = 0 after a full run")
+	}
+	if p99 <= 0 || p99 > 60e9 {
+		return nil, fmt.Errorf("bench: scraped get p99 %.0f ns is not sane", p99)
+	}
+	rep.PromOpsGet = opsGet
+	rep.PromGetP99Ns = p99
+
+	m := h.Metrics()
+	rep.Metrics = &m
+	return rep, nil
+}
+
+// scrapeProm serves fn over HTTP on a loopback ephemeral port, fetches
+// the exposition once, and extracts the hart_ops_get counter and the
+// hart_ops_get_ns p99 quantile.
+func scrapeProm(fn func() obs.Snapshot) (opsGet uint64, p99 float64, err error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return 0, 0, err
+	}
+	srv := &http.Server{Handler: obs.Handler(fn)}
+	go srv.Serve(ln)
+	defer srv.Close()
+
+	client := &http.Client{Timeout: 10 * time.Second}
+	resp, err := client.Get("http://" + ln.Addr().String() + "/metrics")
+	if err != nil {
+		return 0, 0, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return 0, 0, err
+	}
+	for _, line := range strings.Split(string(body), "\n") {
+		switch {
+		case strings.HasPrefix(line, "hart_ops_get "):
+			opsGet, _ = strconv.ParseUint(strings.Fields(line)[1], 10, 64)
+		case strings.HasPrefix(line, `hart_ops_get_ns{quantile="0.99"}`):
+			p99, _ = strconv.ParseFloat(strings.Fields(line)[1], 64)
+		}
+	}
+	return opsGet, p99, nil
+}
+
+// WriteJSON writes the report as indented JSON.
+func (r *ObsReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// FprintTable renders the report for the terminal.
+func (r *ObsReport) FprintTable(w io.Writer) {
+	fmt.Fprintf(w, "\n== Observability overhead: metrics off vs on (records=%d, value=%dB, NumCPU=%d) ==\n",
+		r.Records, r.ValueSize, r.NumCPU)
+	fmt.Fprintf(w, "%-6s %-6s %-8s %12s %10s %10s\n", "mode", "op", "threads", "ns/op", "allocs/op", "Mops/s")
+	for _, res := range r.Results {
+		fmt.Fprintf(w, "%-6s %-6s %-8d %12.1f %10.2f %10.3f\n",
+			res.Mode, res.Op, res.Threads, res.NsPerOp, res.AllocsPerOp, res.MOPS)
+	}
+	for _, k := range sortedKeys(r.OverheadPct) {
+		fmt.Fprintf(w, "overhead %-10s %+6.2f%%\n", k, r.OverheadPct[k])
+	}
+	fmt.Fprintf(w, "prom scrape: hart_ops_get=%d get_p99=%.0fns\n", r.PromOpsGet, r.PromGetP99Ns)
+}

@@ -1,0 +1,104 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestRunObsSmoke runs the metrics-overhead comparison at toy scale and
+// checks the report's shape: both modes measured for Get and Put, the
+// overhead map filled, the live Prometheus scrape non-trivial, the
+// disabled-mode Get allocation-free and the JSON round-trippable.
+func TestRunObsSmoke(t *testing.T) {
+	c := Config{Records: 2048, PathThreads: []int{2}}.WithDefaults()
+	c.Out = nil
+	rep, err := RunObs(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Records != 2048 {
+		t.Fatalf("header wrong: %+v", rep)
+	}
+	// 2 modes × 1 thread count × (Get, Put).
+	if len(rep.Results) != 4 {
+		t.Fatalf("results = %d, want 4", len(rep.Results))
+	}
+	cells := map[string]ObsResult{}
+	for _, r := range rep.Results {
+		if r.NsPerOp <= 0 || r.MOPS <= 0 {
+			t.Fatalf("non-positive cell: %+v", r)
+		}
+		cells[r.Mode+"/"+r.Op] = r
+	}
+	for _, mode := range []string{"off", "on"} {
+		for _, op := range []string{"Get", "Put"} {
+			if _, ok := cells[mode+"/"+op]; !ok {
+				t.Fatalf("missing cell %s/%s", mode, op)
+			}
+		}
+	}
+	// The harness's RunParallel setup amortises to a sub-milli residue;
+	// the op itself must not allocate (TestMetricsZeroAllocDisabledGet in
+	// core pins the exact-zero claim without harness noise).
+	if got := cells["off/Get"].AllocsPerOp; got > 0.01 {
+		t.Fatalf("disabled-metrics Get allocates %.4f/op, want ~0", got)
+	}
+	for _, key := range []string{"Get/t2", "Put/t2"} {
+		if _, ok := rep.OverheadPct[key]; !ok {
+			t.Fatalf("overhead_pct missing %q: %v", key, rep.OverheadPct)
+		}
+	}
+	if rep.PromOpsGet == 0 {
+		t.Fatal("prom scrape returned hart_ops_get = 0")
+	}
+	if rep.PromGetP99Ns <= 0 {
+		t.Fatalf("prom scrape p99 = %v, want > 0", rep.PromGetP99Ns)
+	}
+	if rep.Metrics == nil || rep.Metrics.Counters["ops.get"] == 0 {
+		t.Fatal("embedded metrics snapshot missing or empty")
+	}
+	if _, ok := rep.Metrics.Hists["ops.get"]; !ok {
+		t.Fatalf("enabled-mode run left no ops.get histogram: %v", rep.Metrics.Hists)
+	}
+
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back ObsReport
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Results) != len(rep.Results) || back.PromOpsGet != rep.PromOpsGet {
+		t.Fatal("JSON round trip lost fields")
+	}
+
+	var tbl bytes.Buffer
+	rep.FprintTable(&tbl)
+	for _, want := range []string{"off", "on", "overhead", "prom scrape"} {
+		if !strings.Contains(tbl.String(), want) {
+			t.Fatalf("table missing %q:\n%s", want, tbl.String())
+		}
+	}
+}
+
+// TestLiveSnapshot covers the -metrics-addr hook: before any store
+// exists the snapshot is zero; after an experiment store comes up it
+// reflects that store's counters.
+func TestLiveSnapshot(t *testing.T) {
+	liveSnap.Store(nil)
+	if s := LiveSnapshot(); len(s.Counters) != 0 {
+		t.Fatalf("zero-value live snapshot has counters: %v", s.Counters)
+	}
+	c := Config{Records: 1024}.WithDefaults()
+	h, _, err := readPathIndex(c, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+	if s := LiveSnapshot(); s.Counters["ops.insert"] != 1024 {
+		t.Fatalf("live snapshot ops.insert = %d, want 1024", s.Counters["ops.insert"])
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"github.com/casl-sdsu/hart/internal/core"
+	"github.com/casl-sdsu/hart/internal/obs"
 	"github.com/casl-sdsu/hart/internal/workload"
 )
 
@@ -48,6 +49,10 @@ type ReadPathReport struct {
 	// ns/op; SpeedupGetInto likewise against zero-alloc GetInto.
 	SpeedupGet     map[string]float64 `json:"speedup_get"`
 	SpeedupGetInto map[string]float64 `json:"speedup_getinto"`
+	// Metrics is the lock-free store's observability snapshot after its
+	// measurement pass (counters like read.seq_retries put the ns/op cells
+	// in context).
+	Metrics *obs.Snapshot `json:"metrics,omitempty"`
 }
 
 // readPathIndex builds a HART with latency off and the given read mode.
@@ -70,6 +75,7 @@ func readPathIndex(c Config, locked bool) (*core.HART, [][]byte, error) {
 			return nil, nil, err
 		}
 	}
+	setLive(h.Metrics)
 	return h, keys, nil
 }
 
@@ -172,6 +178,10 @@ func RunReadPath(c Config) (*ReadPathReport, error) {
 					rep.SpeedupGetInto[key] = lockedGet[t] / r.NsPerOp
 				}
 			}
+		}
+		if !locked {
+			m := h.Metrics()
+			rep.Metrics = &m
 		}
 		h.Close()
 	}

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"github.com/casl-sdsu/hart/internal/core"
+	"github.com/casl-sdsu/hart/internal/obs"
 	"github.com/casl-sdsu/hart/internal/pmem"
 	"github.com/casl-sdsu/hart/internal/workload"
 )
@@ -62,6 +63,9 @@ type RecoveryReport struct {
 	// LazyFirstReadSpeedup is eager full (max workers) ÷ lazy first-read:
 	// how much sooner the store answers its first query.
 	LazyFirstReadSpeedup float64 `json:"lazy_first_read_speedup"`
+	// Metrics is the last recovered store's observability snapshot; its
+	// recover.phase events break the wall times down by phase.
+	Metrics *obs.Snapshot `json:"metrics,omitempty"`
 }
 
 // recoveryArenaSize sizes the arena tightly enough that a million-record
@@ -120,37 +124,38 @@ func buildRecoveryImage(c Config) ([]byte, [][]byte, error) {
 // timeRecovery opens one private copy of the image under opts and times
 // open, first read and (via drain) full build. It also spot-checks the
 // recovered contents so a mode that diverged can never report a win.
-func timeRecovery(img []byte, keys [][]byte, val []byte, opts core.Options) (tOpen, tFirst, tFull time.Duration, err error) {
+func timeRecovery(img []byte, keys [][]byte, val []byte, opts core.Options) (tOpen, tFirst, tFull time.Duration, m *obs.Snapshot, err error) {
 	arena, err := pmem.Attach(append([]byte(nil), img...), pmem.Config{Size: int64(len(img))})
 	if err != nil {
-		return 0, 0, 0, err
+		return 0, 0, 0, nil, err
 	}
 	start := time.Now()
 	h, err := core.Open(arena, opts)
 	if err != nil {
-		return 0, 0, 0, err
+		return 0, 0, 0, nil, err
 	}
 	tOpen = time.Since(start)
 	probe := keys[len(keys)/2]
 	v, ok := h.Get(probe)
 	tFirst = time.Since(start)
 	if !ok || !bytes.Equal(v, val) {
-		return 0, 0, 0, fmt.Errorf("bench: recovered store lost %q", probe)
+		return 0, 0, 0, nil, fmt.Errorf("bench: recovered store lost %q", probe)
 	}
 	h.DrainRecovery()
 	tFull = time.Since(start)
 
 	if h.Len() != len(keys) {
-		return 0, 0, 0, fmt.Errorf("bench: recovered Len = %d, want %d", h.Len(), len(keys))
+		return 0, 0, 0, nil, fmt.Errorf("bench: recovered Len = %d, want %d", h.Len(), len(keys))
 	}
 	stride := len(keys)/1000 + 1
 	for i := 0; i < len(keys); i += stride {
 		if v, ok := h.Get(keys[i]); !ok || !bytes.Equal(v, val) {
-			return 0, 0, 0, fmt.Errorf("bench: recovered store lost %q", keys[i])
+			return 0, 0, 0, nil, fmt.Errorf("bench: recovered store lost %q", keys[i])
 		}
 	}
+	snap := h.Metrics()
 	h.Close()
-	return tOpen, tFirst, tFull, nil
+	return tOpen, tFirst, tFull, &snap, nil
 }
 
 // RunRecovery measures the recovery comparison and returns the report.
@@ -196,10 +201,11 @@ func RunRecovery(c Config) (*RecoveryReport, error) {
 		var bOpen, bFirst, bFull time.Duration
 		for r := 0; r < reps; r++ {
 			fmt.Fprintf(c.Out, "recovery: %s workers=%d rep %d/%d...\n", m.mode, m.workers, r+1, reps)
-			tOpen, tFirst, tFull, err := timeRecovery(img, keys, val, m.opts)
+			tOpen, tFirst, tFull, snap, err := timeRecovery(img, keys, val, m.opts)
 			if err != nil {
 				return nil, err
 			}
+			rep.Metrics = snap
 			if r == 0 || tOpen < bOpen {
 				bOpen = tOpen
 			}

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"github.com/casl-sdsu/hart/internal/core"
+	"github.com/casl-sdsu/hart/internal/obs"
 	"github.com/casl-sdsu/hart/internal/pmem"
 	"github.com/casl-sdsu/hart/internal/workload"
 )
@@ -67,6 +68,9 @@ type RestartReport struct {
 	// first-read: how much sooner the reopened file answers its first
 	// query when the ART builds are deferred.
 	LazyFirstReadSpeedup float64 `json:"lazy_first_read_speedup"`
+	// Metrics is the last reopened store's observability snapshot; its
+	// open/recover.phase events and pm counters contextualise the times.
+	Metrics *obs.Snapshot `json:"metrics,omitempty"`
 }
 
 // buildRestartStore creates and loads a file-backed store at path, then
@@ -127,20 +131,20 @@ func restartValue(n int) []byte {
 
 // timeRestart reopens the store file under opts and times open, first
 // read and full build, verifying the recovered contents before closing.
-func timeRestart(path string, keys [][]byte, val []byte, opts core.Options) (tOpen, tFirst, tFull time.Duration, mapped bool, err error) {
+func timeRestart(path string, keys [][]byte, val []byte, opts core.Options) (tOpen, tFirst, tFull time.Duration, mapped bool, m *obs.Snapshot, err error) {
 	start := time.Now()
 	arena, fresh, err := pmem.OpenFileArena(path, pmem.Config{})
 	if err != nil {
-		return 0, 0, 0, false, err
+		return 0, 0, 0, false, nil, err
 	}
 	if fresh {
 		arena.Close()
-		return 0, 0, 0, false, fmt.Errorf("bench: restart store %s vanished", path)
+		return 0, 0, 0, false, nil, fmt.Errorf("bench: restart store %s vanished", path)
 	}
 	h, err := core.Open(arena, opts)
 	if err != nil {
 		arena.Close()
-		return 0, 0, 0, false, err
+		return 0, 0, 0, false, nil, err
 	}
 	tOpen = time.Since(start)
 	probe := keys[len(keys)/2]
@@ -148,26 +152,27 @@ func timeRestart(path string, keys [][]byte, val []byte, opts core.Options) (tOp
 	tFirst = time.Since(start)
 	if !ok || !bytes.Equal(v, val) {
 		h.Close()
-		return 0, 0, 0, false, fmt.Errorf("bench: reopened store lost %q", probe)
+		return 0, 0, 0, false, nil, fmt.Errorf("bench: reopened store lost %q", probe)
 	}
 	h.DrainRecovery()
 	tFull = time.Since(start)
 
 	if h.Len() != len(keys) {
 		h.Close()
-		return 0, 0, 0, false, fmt.Errorf("bench: reopened Len = %d, want %d", h.Len(), len(keys))
+		return 0, 0, 0, false, nil, fmt.Errorf("bench: reopened Len = %d, want %d", h.Len(), len(keys))
 	}
 	stride := len(keys)/1000 + 1
 	for i := 0; i < len(keys); i += stride {
 		if v, ok := h.Get(keys[i]); !ok || !bytes.Equal(v, val) {
 			h.Close()
-			return 0, 0, 0, false, fmt.Errorf("bench: reopened store lost %q", keys[i])
+			return 0, 0, 0, false, nil, fmt.Errorf("bench: reopened store lost %q", keys[i])
 		}
 	}
 	if fb, ok := pmem.BackendOf(h.Arena()).(*pmem.FileBackend); ok {
 		mapped = fb.Mapped()
 	}
-	return tOpen, tFirst, tFull, mapped, h.Close()
+	snap := h.Metrics()
+	return tOpen, tFirst, tFull, mapped, &snap, h.Close()
 }
 
 // RunRestart measures the file-backed reopen comparison.
@@ -220,11 +225,12 @@ func RunRestart(c Config) (*RestartReport, error) {
 		var bOpen, bFirst, bFull time.Duration
 		for r := 0; r < reps; r++ {
 			fmt.Fprintf(c.Out, "restart: %s workers=%d rep %d/%d...\n", m.mode, m.workers, r+1, reps)
-			tOpen, tFirst, tFull, mapped, err := timeRestart(path, keys, val, m.opts)
+			tOpen, tFirst, tFull, mapped, snap, err := timeRestart(path, keys, val, m.opts)
 			if err != nil {
 				return nil, err
 			}
 			rep.Mapped = mapped
+			rep.Metrics = snap
 			if r == 0 || tOpen < bOpen {
 				bOpen = tOpen
 			}

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"github.com/casl-sdsu/hart/internal/core"
+	"github.com/casl-sdsu/hart/internal/obs"
 	"github.com/casl-sdsu/hart/internal/workload"
 )
 
@@ -82,6 +83,9 @@ type SkewReport struct {
 	// the skew costs when the directory cannot adapt, kept as the
 	// measured baseline.
 	FixedFrac map[string]float64 `json:"fixed_frac"`
+	// Metrics is the final elastic cell's observability snapshot (split
+	// events and dir.splits put the recovered fractions in context).
+	Metrics *obs.Snapshot `json:"metrics,omitempty"`
 }
 
 // skewKeys generates each writer's insert stream: the first two bytes
@@ -122,14 +126,14 @@ func skewKeys(n, threads int, dist workload.Distribution, seed int64) [][][]byte
 // pre-generated per-writer key streams, manual wall-clock over the
 // partitioned writers (the generator cost stays outside the timed
 // region).
-func skewCell(c Config, mode string, parts [][][]byte, splitOps, threads int) (SkewResult, error) {
+func skewCell(c Config, mode string, parts [][][]byte, splitOps, threads int) (SkewResult, *obs.Snapshot, error) {
 	h, err := core.New(core.Options{
 		ArenaSize:        arenaSize("HART", c.Records),
 		ElasticDirectory: mode == "elastic",
 		SplitOps:         splitOps,
 	})
 	if err != nil {
-		return SkewResult{}, err
+		return SkewResult{}, nil, err
 	}
 	defer h.Close()
 	val := make([]byte, c.ValueSize)
@@ -166,19 +170,20 @@ func skewCell(c Config, mode string, parts [][][]byte, splitOps, threads int) (S
 	d := time.Since(start)
 	close(errs)
 	for err := range errs {
-		return SkewResult{}, err
+		return SkewResult{}, nil, err
 	}
 	if got := h.Len(); got != total {
-		return SkewResult{}, fmt.Errorf("skew %s left %d records, want %d", mode, got, total)
+		return SkewResult{}, nil, fmt.Errorf("skew %s left %d records, want %d", mode, got, total)
 	}
 	ns := float64(d.Nanoseconds()) / float64(total)
 	res := SkewResult{Mode: mode, Op: "Put", Threads: threads, NsPerOp: ns, MOPS: 1e3 / ns}
+	m := h.Metrics()
 	if mode == "elastic" {
 		st := h.Stats()
 		res.Splits = st.Dir.Splits
 		res.MaxDepth = st.Dir.MaxDepth
 	}
-	return res, nil
+	return res, &m, nil
 }
 
 // RunSkew measures the skew comparison and returns the report.
@@ -213,13 +218,14 @@ func RunSkew(c Config) (*SkewReport, error) {
 			fmt.Fprintf(c.Out, "skew: %s insert threads=%d...\n", mode, t)
 			parts := skewKeys(c.Records, t, dist, c.Seed+int64(t))
 			var r SkewResult
+			var rm *obs.Snapshot
 			for rep := 0; rep < SkewReps; rep++ {
-				rr, err := skewCell(c, mode, parts, splitOps, t)
+				rr, m, err := skewCell(c, mode, parts, splitOps, t)
 				if err != nil {
 					return nil, err
 				}
 				if rep == 0 || rr.NsPerOp < r.NsPerOp {
-					r = rr
+					r, rm = rr, m
 				}
 			}
 			rep.Results = append(rep.Results, r)
@@ -235,6 +241,7 @@ func RunSkew(c Config) (*SkewReport, error) {
 				if base := uniformMOPS[t]; base > 0 {
 					rep.RecoveredFrac[key] = r.MOPS / base
 				}
+				rep.Metrics = rm
 			}
 		}
 	}

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"github.com/casl-sdsu/hart/internal/core"
+	"github.com/casl-sdsu/hart/internal/obs"
 	"github.com/casl-sdsu/hart/internal/workload"
 )
 
@@ -70,6 +71,10 @@ type WritePathReport struct {
 	// batch saves per record over single-key Puts for the same sorted
 	// bulk insert.
 	BatchAmortisation map[string]float64 `json:"batch_amortisation"`
+	// Metrics is the striped store's observability snapshot after its
+	// steady-state measurement pass (allocator steal and ulog-claim
+	// counters put the ns/op cells in context).
+	Metrics *obs.Snapshot `json:"metrics,omitempty"`
 }
 
 // writePathIndex builds a HART with latency off and the given write mode,
@@ -299,6 +304,10 @@ func RunWritePath(c Config) (*WritePathReport, error) {
 				r.Mode = mode
 				rep.Results = append(rep.Results, r)
 			}
+		}
+		if !legacy {
+			m := h.Metrics()
+			rep.Metrics = &m
 		}
 		h.Close()
 

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"errors"
 	"sort"
+	"time"
 
 	"github.com/casl-sdsu/hart/internal/epalloc"
 	"github.com/casl-sdsu/hart/internal/pmem"
@@ -33,6 +34,17 @@ type Record struct {
 // The first error aborts the remainder; the count of applied records is
 // returned with it.
 func (h *HART) PutBatch(records []Record) (int, error) {
+	if h.obs.timing.Enabled() {
+		start := time.Now()
+		n, err := h.putBatchOp(records)
+		h.obs.batchH.Record(time.Since(start).Nanoseconds())
+		return n, err
+	}
+	return h.putBatchOp(records)
+}
+
+// putBatchOp is PutBatch's body behind the gated timing wrapper above.
+func (h *HART) putBatchOp(records []Record) (int, error) {
 	for _, r := range records {
 		if err := h.validateWrite(r.Key, r.Value); err != nil {
 			return 0, err
@@ -101,10 +113,14 @@ func (h *HART) PutBatch(records []Record) (int, error) {
 		}
 		done += n
 		if err != nil {
+			h.obs.putBatches.Add(1)
+			h.obs.batchRecords.Add(uint64(done))
 			return done, err
 		}
 		i = j
 	}
+	h.obs.putBatches.Add(1)
+	h.obs.batchRecords.Add(uint64(done))
 	return done, nil
 }
 
@@ -329,6 +345,7 @@ func (h *HART) putGroup(s *artShard, hashKey []byte, recs []Record) (int, error)
 			}
 		}
 		h.size.Add(int64(nc))
+		h.obs.inserts.Add(uint64(nc))
 		return committedTo, cause
 	}
 
@@ -366,6 +383,7 @@ func (h *HART) putGroup(s *artShard, hashKey []byte, recs []Record) (int, error)
 	}
 	s.tree.Store(b.Commit())
 	h.size.Add(int64(nIns))
+	h.obs.inserts.Add(uint64(nIns))
 	return len(recs), nil
 }
 

@@ -340,6 +340,10 @@ type HART struct {
 	// recoveryStats records what the most recent recover() did; written
 	// only during recovery (single-threaded), read via LastRecoveryStats.
 	recoveryStats RecoveryStats
+
+	// obs holds the instance's counters, gated histograms and event ring
+	// (see metrics.go). Zero value is live; no initialisation needed.
+	obs coreObs
 }
 
 // classSpecs returns the allocator class table, binding the Algorithm 2
@@ -420,8 +424,10 @@ func NewOnArena(arena *pmem.Arena, opts Options) (*HART, error) {
 	if err != nil {
 		return nil, err
 	}
+	h.alloc.SetEventRing(&h.obs.events)
 	arena.SetPersistSite("format.superblock")
 	writeSuperblockMagic(arena)
+	h.obs.events.Emit("open", "create", 0, 0)
 	return h, nil
 }
 
@@ -462,11 +468,17 @@ func Open(arena *pmem.Arena, opts Options) (*HART, error) {
 		return nil, err
 	}
 	h.alloc = alloc
+	h.alloc.SetEventRing(&h.obs.events)
 	h.setCleanFlag(false)
 	if err := h.recover(); err != nil {
 		return nil, err
 	}
 	h.recoveryStats.WasClean = sb.Clean
+	detail := "dirty"
+	if sb.Clean {
+		detail = "clean"
+	}
+	h.obs.events.Emit("open", detail, uint64(h.recoveryStats.LiveLeaves), uint64(h.recoveryStats.CompletedULogs))
 	return h, nil
 }
 
@@ -604,6 +616,7 @@ func (h *HART) getShard(key []byte, create bool) (*artShard, []byte) {
 	nu := cur.tab.Clone()
 	nu.Put(hk, s)
 	h.dir.Store(&dirTable{tab: nu, splits: cur.splits})
+	h.obs.dirPublish.Add(1)
 	return s, hk
 }
 
@@ -683,6 +696,7 @@ func (h *HART) removeShardIfEmpty(hashKey []byte, s *artShard) {
 	nu := cur.tab.Clone()
 	if nu.Delete(hashKey) {
 		h.dir.Store(&dirTable{tab: nu, splits: cur.splits})
+		h.obs.dirPublish.Add(1)
 	}
 }
 

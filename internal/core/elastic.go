@@ -179,8 +179,10 @@ func (h *HART) splitShard(prefix []byte, s *artShard) {
 	}
 	h.dir.Store(&dirTable{tab: nt, splits: d.splits.With(prefix)})
 	h.splitCount.Add(1)
+	h.obs.dirPublish.Add(1)
 	h.dirMu.Unlock()
 	s.dead = true
+	h.obs.events.Emit("dir.split", evPrefix(prefix), uint64(len(order)), uint64(h.splitCount.Load()))
 }
 
 // maybeMerge considers folding the split group around the entry at
@@ -332,11 +334,13 @@ func (h *HART) tryMerge(p []byte) bool {
 	}
 	h.dir.Store(&dirTable{tab: nt, splits: d2.splits.Without(p)})
 	h.mergeCount.Add(1)
+	h.obs.dirPublish.Add(1)
 	h.dirMu.Unlock()
 	for _, s := range shards {
 		s.dead = true
 	}
 	unlockAll()
+	h.obs.events.Emit("dir.merge", evPrefix(p), uint64(len(names)), uint64(total))
 	// The merged shard may itself now be a cold child (or residual) of a
 	// shallower split; cascade toward the base shape.
 	h.maybeMerge(p)

@@ -1,0 +1,227 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"github.com/casl-sdsu/hart/internal/pmem"
+)
+
+func TestMetricsCounters(t *testing.T) {
+	h := newHART(t)
+	for i := 0; i < 100; i++ {
+		mustPut(t, h, fmt.Sprintf("mc%04d", i), "v1")
+	}
+	for i := 0; i < 50; i++ {
+		mustPut(t, h, fmt.Sprintf("mc%04d", i), "v2") // updates
+	}
+	for i := 0; i < 30; i++ {
+		if _, ok := h.Get([]byte(fmt.Sprintf("mc%04d", i))); !ok {
+			t.Fatal("get miss on present key")
+		}
+	}
+	for i := 0; i < 10; i++ {
+		if _, ok := h.Get([]byte(fmt.Sprintf("absent%02d", i))); ok {
+			t.Fatal("get hit on absent key")
+		}
+	}
+	for i := 0; i < 20; i++ {
+		if err := h.Delete([]byte(fmt.Sprintf("mc%04d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := h.Delete([]byte("absent-del")); err != ErrNotFound {
+		t.Fatalf("Delete(absent) = %v, want ErrNotFound", err)
+	}
+	n := 0
+	h.Scan(nil, nil, func(k, v []byte) bool { n++; return true })
+
+	m := h.Metrics()
+	c := m.Counters
+	want := map[string]uint64{
+		"ops.put":          150,
+		"ops.insert":       100,
+		"ops.update":       50,
+		"ops.get":          40,
+		"ops.get_miss":     10,
+		"ops.delete":       20,
+		"ops.delete_miss":  1,
+		"ops.scan":         1,
+		"ops.scan_records": uint64(n),
+	}
+	for name, w := range want {
+		if c[name] != w {
+			t.Errorf("counter %s = %d, want %d", name, c[name], w)
+		}
+	}
+	if c["pm.persists"] == 0 || c["pm.writes"] == 0 {
+		t.Error("pm counters should be non-zero after writes")
+	}
+	if c["dir.entries"] == 0 || c["dir.republish"] == 0 {
+		t.Error("dir counters should be non-zero after inserts")
+	}
+	// Histograms are gated and disabled by default.
+	if len(m.Hists) != 0 {
+		t.Errorf("disabled metrics should report no histograms, got %v", m.Hists)
+	}
+}
+
+func TestMetricsHistogramsWhenEnabled(t *testing.T) {
+	h := newHART(t)
+	h.EnableMetrics(true)
+	if !h.MetricsEnabled() {
+		t.Fatal("MetricsEnabled should report true")
+	}
+	for i := 0; i < 64; i++ {
+		mustPut(t, h, fmt.Sprintf("he%04d", i), "v")
+	}
+	for i := 0; i < 64; i++ {
+		h.Get([]byte(fmt.Sprintf("he%04d", i)))
+	}
+	h.Scan(nil, nil, func(k, v []byte) bool { return true })
+	if _, err := h.PutBatch([]Record{{Key: []byte("hb1"), Value: []byte("v")}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Delete([]byte("he0000")); err != nil {
+		t.Fatal(err)
+	}
+
+	m := h.Metrics()
+	for _, name := range []string{"ops.get", "ops.put", "ops.delete", "ops.scan", "ops.put_batch", "pm.persist"} {
+		hv, ok := m.Hists[name]
+		if !ok {
+			t.Fatalf("histogram %q missing with metrics enabled (have %v)", name, m.Hists)
+		}
+		if hv.Count == 0 || hv.P99Ns == 0 || hv.MaxNs == 0 {
+			t.Errorf("histogram %q has empty summary: %+v", name, hv)
+		}
+		if hv.P50Ns > hv.P95Ns || hv.P95Ns > hv.P99Ns {
+			t.Errorf("histogram %q quantiles not monotone: %+v", name, hv)
+		}
+	}
+	// Get/Put timing is sampled (one in 2^obs.SampleShift); the first call
+	// per stripe hits, so 64 ops record at least one and at most all.
+	if got := m.Hists["ops.get"].Count; got < 1 || got > 64 {
+		t.Errorf("ops.get histogram count = %d, want within [1, 64]", got)
+	}
+	// Delete/Scan/PutBatch are timed unsampled: exactly one record each.
+	for _, name := range []string{"ops.delete", "ops.scan", "ops.put_batch"} {
+		if got := m.Hists[name].Count; got != 1 {
+			t.Errorf("%s histogram count = %d, want 1 (unsampled)", name, got)
+		}
+	}
+
+	h.EnableMetrics(false)
+	before := h.Metrics().Hists["ops.get"].Count
+	h.Get([]byte("he0001"))
+	if after := h.Metrics().Hists["ops.get"].Count; after != before {
+		t.Errorf("disabled histogram still recording: %d -> %d", before, after)
+	}
+}
+
+// TestMetricsZeroAllocDisabledGet asserts the acceptance criterion that
+// the disabled-metrics read path performs no heap allocation: the gated
+// wrapper and the always-on counters must not push GetInto's stack
+// buffer or the counter stripe selection onto the heap.
+func TestMetricsZeroAllocDisabledGet(t *testing.T) {
+	h := newHART(t)
+	key := []byte("za-key")
+	mustPut(t, h, string(key), "value")
+	buf := make([]byte, 0, MaxValueLen)
+	allocs := testing.AllocsPerRun(200, func() {
+		v, ok := h.GetInto(key, buf)
+		if !ok || len(v) == 0 {
+			t.Fatal("lookup failed")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("GetInto with metrics disabled allocates %.1f/op, want 0", allocs)
+	}
+	allocs = testing.AllocsPerRun(200, func() {
+		if !h.Contains(key) {
+			t.Fatal("Contains failed")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("Contains with metrics disabled allocates %.1f/op, want 0", allocs)
+	}
+}
+
+// TestStatsMetricsRace hammers the consistent-snapshot paths — Stats()
+// and Metrics() — against concurrent writers; run under -race it proves
+// both observe only published immutable state.
+func TestStatsMetricsRace(t *testing.T) {
+	h := newHART(t)
+	const writers = 8
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				k := []byte(fmt.Sprintf("r%d-%04d", w, i%200))
+				switch i % 3 {
+				case 0, 1:
+					if err := h.Put(k, []byte("val")); err != nil {
+						t.Error(err)
+						return
+					}
+				case 2:
+					h.Delete(k)
+				}
+			}
+		}(w)
+	}
+	for i := 0; i < 200; i++ {
+		st := h.Stats()
+		if st.Records < 0 {
+			t.Errorf("negative record count %d", st.Records)
+		}
+		m := h.Metrics()
+		if e := m.Counters["dir.entries"]; e > 0 && m.Counters["ops.insert"]+1 < e {
+			// Every directory entry (beyond a possible residual) required
+			// at least one insert; a grossly inconsistent snapshot would
+			// trip this.
+			t.Errorf("inserts %d < entries %d", m.Counters["ops.insert"], e)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+func TestMetricsEventsAcrossRecovery(t *testing.T) {
+	h := newHART(t)
+	for i := 0; i < 200; i++ {
+		mustPut(t, h, fmt.Sprintf("ev%04d", i), "v")
+	}
+	img, err := h.Arena().Crash(pmem.Config{Tracking: true}, pmem.CrashOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, err := Open(img, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	kinds := map[string]int{}
+	for _, ev := range h2.Events() {
+		kinds[ev.Kind]++
+	}
+	if kinds["recover.phase"] != 4 {
+		t.Errorf("want 4 recover.phase events (ulog/scan/sweep/build), got %d in %v", kinds["recover.phase"], kinds)
+	}
+	if kinds["open"] != 1 {
+		t.Errorf("want one open event, got %d", kinds["open"])
+	}
+	for _, ev := range h2.Events() {
+		if ev.Kind == "open" && ev.Detail != "dirty" {
+			t.Errorf("open after crash image should be dirty, got %q", ev.Detail)
+		}
+	}
+}

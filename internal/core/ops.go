@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"time"
 
 	"github.com/casl-sdsu/hart/internal/pmem"
 )
@@ -15,6 +16,18 @@ const optimisticAttempts = 4
 // Put inserts or updates a record (Algorithm 1). Values are 1 to
 // MaxValueLen bytes; key and value slices are copied.
 func (h *HART) Put(key, value []byte) error {
+	if h.obs.timing.Enabled() && h.obs.sample.Hit() {
+		start := time.Now()
+		err := h.putOp(key, value)
+		h.obs.putH.Record(time.Since(start).Nanoseconds())
+		return err
+	}
+	return h.putOp(key, value)
+}
+
+// putOp is Put's body, split out so the timed wrapper above pays for a
+// clock read only when metrics are enabled.
+func (h *HART) putOp(key, value []byte) error {
 	if err := h.validateWrite(key, value); err != nil {
 		return err
 	}
@@ -33,6 +46,9 @@ func (h *HART) Put(key, value []byte) error {
 	s.mu.Unlock()
 	if hot {
 		h.maybeSplit(hashKey)
+	}
+	if err == nil {
+		h.obs.puts.Add(1)
 	}
 	return err
 }
@@ -110,6 +126,7 @@ func (h *HART) insertNew(s *artShard, artKey, key, value []byte, stripe int) err
 		return err
 	}
 	h.size.Add(1)
+	h.obs.inserts.Add(1)
 	return nil
 }
 
@@ -175,6 +192,7 @@ func (h *HART) update(leaf pmem.Ptr, value []byte, stripe int) error {
 
 	h.arena.SetPersistSite("update.reclaim")
 	ulog.Reclaim() // line 11
+	h.obs.updates.Add(1)
 	return nil
 }
 
@@ -230,18 +248,41 @@ func (h *HART) Get(key []byte) ([]byte, bool) {
 // heap allocation. A nil return with ok=true cannot happen; on ok=false
 // the buffer contents are unspecified.
 func (h *HART) GetInto(key, dst []byte) ([]byte, bool) {
+	if h.obs.timing.Enabled() && h.obs.sample.Hit() {
+		start := time.Now()
+		v, ok := h.getInto(key, dst)
+		h.obs.getH.Record(time.Since(start).Nanoseconds())
+		return v, ok
+	}
+	return h.getInto(key, dst)
+}
+
+// getInto is GetInto's body; the wrapper above adds the gated latency
+// histogram. Counters here are always-on: one striped atomic add per
+// lookup, plus one per retry/fallback, which only contended reads pay.
+func (h *HART) getInto(key, dst []byte) ([]byte, bool) {
 	if h.validate(key, nil) != nil {
 		return nil, false
 	}
+	h.obs.gets.Add(1)
 	if !h.opts.LockedReads {
 		for i := 0; i < optimisticAttempts; i++ {
 			v, ok, conclusive := h.readOptimistic(key, dst, true)
 			if conclusive {
+				if !ok {
+					h.obs.getMisses.Add(1)
+				}
 				return v, ok
 			}
+			h.obs.seqRetries.Add(1)
 		}
+		h.obs.lockedFallbacks.Add(1)
 	}
-	return h.lockedGet(key, dst, true)
+	v, ok := h.lockedGet(key, dst, true)
+	if !ok {
+		h.obs.getMisses.Add(1)
+	}
+	return v, ok
 }
 
 // Contains reports whether key is present. Unlike Get it neither copies
@@ -373,12 +414,26 @@ func (h *HART) lockedGet(key, dst []byte, needValue bool) ([]byte, bool) {
 // merge — after the shard lock is released, since merging locks whole
 // groups.
 func (h *HART) Delete(key []byte) error {
+	if h.obs.timing.Enabled() {
+		start := time.Now()
+		err := h.deleteOp(key)
+		h.obs.deleteH.Record(time.Since(start).Nanoseconds())
+		return err
+	}
+	return h.deleteOp(key)
+}
+
+// deleteOp is Delete's body behind the gated timing wrapper above.
+func (h *HART) deleteOp(key []byte) error {
 	if err := h.validate(key, nil); err != nil {
 		return err
 	}
 	hashKey, err := h.deleteLocked(key)
 	if hashKey != nil {
+		h.obs.deletes.Add(1)
 		h.maybeMerge(hashKey)
+	} else if err == ErrNotFound {
+		h.obs.deleteMisses.Add(1)
 	}
 	return err
 }
@@ -512,5 +567,6 @@ func (h *HART) updateUnlogged(leaf pmem.Ptr, value []byte, stripe int) error {
 			return err
 		}
 	}
+	h.obs.updates.Add(1)
 	return nil
 }

@@ -65,9 +65,11 @@ func (h *HART) recover() error {
 			return err
 		}
 		h.alloc.ResetUpdateLogAt(ul.Index)
+		h.obs.events.Emit("recover.ulog_replay", "", uint64(ul.Index), uint64(ul.PLeaf))
 		stats.CompletedULogs++
 	}
 	stats.ULogNs = time.Since(t).Nanoseconds()
+	h.obs.events.Emit("recover.phase", "ulog", uint64(stats.CompletedULogs), uint64(stats.ULogNs))
 
 	// Phase 2: parallel leaf scan (Algorithm 7 lines 2-6).
 	t = time.Now()
@@ -77,6 +79,7 @@ func (h *HART) recover() error {
 	}
 	stats.LiveLeaves = scan.live
 	stats.ScanNs = time.Since(t).Nanoseconds()
+	h.obs.events.Emit("recover.phase", "scan", uint64(stats.LiveLeaves), uint64(stats.ScanNs))
 
 	// Phase 3: launch the builders; they run concurrently with phase 4's
 	// sweeps (volatile builds and PM sweeps touch disjoint state).
@@ -97,6 +100,8 @@ func (h *HART) recover() error {
 	stats.SweepNs = time.Since(ts).Nanoseconds()
 	wg.Wait()
 	stats.BuildNs = time.Since(t).Nanoseconds() // includes the sweep overlap
+	h.obs.events.Emit("recover.phase", "sweep", uint64(stats.StaleSlotsZeroed+stats.OrphanValues), uint64(stats.SweepNs))
+	h.obs.events.Emit("recover.phase", "build", uint64(stats.LiveLeaves), uint64(stats.BuildNs))
 	if sweepErr != nil {
 		return sweepErr
 	}
@@ -126,6 +131,7 @@ func (h *HART) recover() error {
 	h.dirMu.Lock()
 	h.dir.Store(&dirTable{tab: hashdir.NewFromSorted(keys, shards), splits: splits})
 	h.dirMu.Unlock()
+	h.obs.dirPublish.Add(1)
 	h.size.Store(int64(scan.live))
 	if h.opts.LazyRecovery {
 		stats.PendingShards = len(all)
@@ -738,7 +744,10 @@ func (h *HART) legacyRebuildIndex(leaves []pmem.Ptr) error {
 		h.size.Add(1)
 		return nil
 	}
-	defer func() { h.dir.Store(&dirTable{tab: dir, splits: splits}) }()
+	defer func() {
+		h.dir.Store(&dirTable{tab: dir, splits: splits})
+		h.obs.dirPublish.Add(1)
+	}()
 
 	workers := h.opts.RecoveryWorkers
 	if workers <= 1 || len(leaves) < 1024 {

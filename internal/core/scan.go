@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"sort"
 	"strings"
+	"time"
 
 	"github.com/casl-sdsu/hart/internal/pmem"
 )
@@ -31,9 +32,23 @@ import (
 // Within one entry the shard read lock excludes geometry changes, since
 // splitting or merging a shard requires its write lock.
 func (h *HART) Scan(start, end []byte, fn func(key, value []byte) bool) {
+	if h.obs.timing.Enabled() {
+		t := time.Now()
+		h.scanOp(start, end, fn)
+		h.obs.scanH.Record(time.Since(t).Nanoseconds())
+		return
+	}
+	h.scanOp(start, end, fn)
+}
+
+// scanOp is Scan's body behind the gated timing wrapper above.
+func (h *HART) scanOp(start, end []byte, fn func(key, value []byte) bool) {
 	if h.closed.Load() {
 		return
 	}
+	h.obs.scans.Add(1)
+	var visited uint64
+	defer func() { h.obs.scanRecords.Add(visited) }()
 	// Normalise the bounds once: an empty start is the same as nil
 	// (nothing sorts below ""), and an empty end means an empty range.
 	// The in-shard bounds derived below then never produce an empty
@@ -99,6 +114,7 @@ func (h *HART) Scan(start, end []byte, fn func(key, value []byte) bool) {
 			if rec == nil {
 				return true
 			}
+			visited++
 			if !fn(rec.key, rec.value) {
 				stop = true
 				return false
@@ -178,9 +194,23 @@ func (h *HART) Keys() [][]byte {
 // upper bound of the keys still to visit. (API extension beyond the
 // paper.)
 func (h *HART) ScanReverse(start, end []byte, fn func(key, value []byte) bool) {
+	if h.obs.timing.Enabled() {
+		t := time.Now()
+		h.scanReverseOp(start, end, fn)
+		h.obs.scanH.Record(time.Since(t).Nanoseconds())
+		return
+	}
+	h.scanReverseOp(start, end, fn)
+}
+
+// scanReverseOp is ScanReverse's body behind the gated timing wrapper.
+func (h *HART) scanReverseOp(start, end []byte, fn func(key, value []byte) bool) {
 	if h.closed.Load() {
 		return
 	}
+	h.obs.scans.Add(1)
+	var visited uint64
+	defer func() { h.obs.scanRecords.Add(visited) }()
 	// Same bound normalisation as Scan.
 	if len(start) == 0 {
 		start = nil
@@ -236,6 +266,7 @@ func (h *HART) ScanReverse(start, end []byte, fn func(key, value []byte) bool) {
 			if rec == nil {
 				return true
 			}
+			visited++
 			if !fn(rec.key, rec.value) {
 				stop = true
 				return false

@@ -83,6 +83,8 @@ func (a *Allocator) AllocBatch(c Class, stripe, n int) ([]pmem.Ptr, error) {
 			return nil, err
 		}
 	}
+	a.metrics.BatchAllocs.AddStripe(stripe, 1)
+	a.metrics.BatchObjs.AddStripe(stripe, uint64(len(objs)))
 	return objs, nil
 }
 
@@ -140,6 +142,7 @@ func (a *Allocator) allocChunk(c Class, dst int) (pmem.Ptr, error) {
 	dstSS.mu.Lock()
 	if !a.freeHead(c, dst).IsNil() {
 		defer dstSS.mu.Unlock()
+		a.metrics.ChunkReuses.AddStripe(dst, 1)
 		return a.transferLocked(c, dst, dst, false)
 	}
 	dstSS.mu.Unlock()
@@ -163,6 +166,12 @@ func (a *Allocator) allocChunk(c Class, dst int) (pmem.Ptr, error) {
 		chunk, err := a.transferLocked(c, src, dst, false)
 		hi.mu.Unlock()
 		lo.mu.Unlock()
+		if err == nil {
+			a.metrics.Steals.AddStripe(dst, 1)
+			if a.events != nil {
+				a.events.Emit("alloc.steal", cs.spec.Name, uint64(src), uint64(dst))
+			}
+		}
 		return chunk, err
 	}
 
@@ -172,6 +181,7 @@ func (a *Allocator) allocChunk(c Class, dst int) (pmem.Ptr, error) {
 	defer dstSS.mu.Unlock()
 	a.chunkMu.Lock()
 	defer a.chunkMu.Unlock()
+	a.metrics.FreshChunks.AddStripe(dst, 1)
 	return a.transferLocked(c, tlSrcFresh, dst, true)
 }
 

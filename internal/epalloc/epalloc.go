@@ -51,6 +51,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"github.com/casl-sdsu/hart/internal/obs"
 	"github.com/casl-sdsu/hart/internal/pmem"
 )
 
@@ -229,6 +230,11 @@ type Allocator struct {
 
 	// Fault injectors (inject.go); disarmed by New/Attach.
 	failSetBit, failResetBit, failAlloc faultCounter
+
+	// metrics is the always-on counter set (metrics.go); events, when
+	// non-nil (SetEventRing), receives rare structured events.
+	metrics Metrics
+	events  *obs.EventRing
 }
 
 // chunkSize returns the full byte size of a chunk of the class.

@@ -104,6 +104,8 @@ func (a *Allocator) recycleChunkMode(chunk pmem.Ptr, lenient bool) error {
 	ar.WritePtr(rl+rlCurOff, pmem.Nil)
 	ar.Persist(rl+rlCurOff, 8)
 
+	a.metrics.Recycles.AddStripe(stripe, 1)
+
 	// Volatile bookkeeping: the chunk no longer offers slots.
 	if meta != nil {
 		meta.inAvail = false

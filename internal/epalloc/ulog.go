@@ -112,6 +112,7 @@ func (a *Allocator) tryClaimULog(start int) *ULog {
 			}
 			bit := free & -free
 			if w.CompareAndSwap(cur, cur|bit) {
+				a.metrics.ULogClaims.AddStripe(s, 1)
 				return &a.ulogs.slots[s*ulogsPerStripe+bits.TrailingZeros64(bit)]
 			}
 		}

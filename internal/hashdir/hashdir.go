@@ -25,6 +25,8 @@ package hashdir
 import (
 	"sort"
 	"unsafe"
+
+	"github.com/casl-sdsu/hart/internal/obs"
 )
 
 // MaxKeyLen bounds hash-key length; HART's kh is at most the full key
@@ -59,11 +61,17 @@ type Table[V any] struct {
 	live   int
 	dead   int // tombstones
 	sorted []string
+	// clones counts Clone calls over the table's whole lineage (HART's
+	// directory republication rate): shared by pointer between a table and
+	// every clone descended from it, so the embedding store reads one
+	// number however many snapshots were published. Nil on tables built
+	// outside New/NewFromSorted (Clones then reports 0).
+	clones *obs.Counter
 }
 
 // New returns an empty table.
 func New[V any]() *Table[V] {
-	t := &Table[V]{}
+	t := &Table[V]{clones: &obs.Counter{}}
 	t.init(minBuckets)
 	return t
 }
@@ -82,7 +90,7 @@ func NewFromSorted[V any](keys []string, values []V) *Table[V] {
 	for (len(keys)+1)*maxLoadDen >= n*maxLoadNum {
 		n *= 2
 	}
-	t := &Table[V]{}
+	t := &Table[V]{clones: &obs.Counter{}}
 	t.init(n)
 	for i, k := range keys {
 		if len(k) > MaxKeyLen {
@@ -330,14 +338,28 @@ func (t *Table[V]) Stats() Stats {
 // new key periodically" — clone the current snapshot, mutate the clone
 // and swap it in, so lock-free readers never observe a table mid-mutation.
 func (t *Table[V]) Clone() *Table[V] {
+	if t.clones != nil {
+		t.clones.Add(1)
+	}
 	c := &Table[V]{
 		slots:  append([]slot[V](nil), t.slots...),
 		mask:   t.mask,
 		live:   t.live,
 		dead:   t.dead,
 		sorted: append([]string(nil), t.sorted...),
+		clones: t.clones,
 	}
 	return c
+}
+
+// Clones returns the number of Clone calls over the table's lineage —
+// for HART, how many times the directory was copy-on-write republished
+// since this lineage's root was built.
+func (t *Table[V]) Clones() uint64 {
+	if t.clones == nil {
+		return 0
+	}
+	return t.clones.Value()
 }
 
 // DRAMBytes reports the table's memory footprint (Fig. 10b accounting)

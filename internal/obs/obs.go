@@ -1,0 +1,136 @@
+// Package obs is HART's always-compiled observability layer: lock-free
+// striped counters and gauges for hot-path event counting, log-bucketed
+// latency histograms for per-op timing, and a fixed-size ring buffer of
+// structured events for rare occurrences (shard splits, recovery phase
+// transitions, stripe steals).
+//
+// Design constraints, in order:
+//
+//  1. The disabled cost must vanish into noise. Counters are always on —
+//     one striped atomic add per op — and everything that needs a clock
+//     (histogram timing) hides behind a single Gate check, so the
+//     disabled read path stays allocation-free and within noise of the
+//     uninstrumented build (BENCH_obs.json holds the line).
+//  2. No coordination. Every instrument is a leaf of plain atomics:
+//     no locks, no channels, no registration step. The zero value of
+//     every type is ready to use, so packages below core (epalloc, pmem)
+//     embed instruments directly in their structs without constructors
+//     or import cycles.
+//  3. Mergeable snapshots. Histograms and counters snapshot into plain
+//     values that add across shards/instances, and Snapshot renders to
+//     JSON (bench reports), Prometheus text (WriteProm) and expvar.
+//
+// See DESIGN.md §14 for the architecture and the overhead methodology.
+package obs
+
+import (
+	"sync/atomic"
+	"unsafe"
+)
+
+// NumStripes is the number of padded cells a Counter spreads its
+// increments over. Power of two; sized for small-to-medium core counts —
+// the goal is to break same-line ping-pong between concurrent writers,
+// not to give every CPU a private cell.
+const NumStripes = 8
+
+// cell is one padded counter stripe: the pad keeps adjacent stripes on
+// distinct cache lines so concurrent increments don't false-share.
+type cell struct {
+	n atomic.Uint64
+	_ [56]byte
+}
+
+// Counter is a lock-free striped event counter. The zero value is ready
+// to use. Add is wait-free; Value sums the stripes and is approximate
+// only in the sense that it races with concurrent adds (it never loses
+// or double-counts a completed Add).
+type Counter struct {
+	cells [NumStripes]cell
+}
+
+// stripeHint derives a cheap per-goroutine-ish stripe index from the
+// address of a stack local: goroutine stacks live at distinct addresses,
+// so concurrent callers spread across cells without any runtime hook,
+// and the probe never escapes (no allocation). Callers that already know
+// a better affinity (an allocator stripe, a shard hash) should use
+// AddStripe instead.
+func stripeHint() int {
+	var probe byte
+	return int(uintptr(unsafe.Pointer(&probe))>>9) & (NumStripes - 1)
+}
+
+// Add increments the counter by n on a stack-address-derived stripe.
+func (c *Counter) Add(n uint64) {
+	c.cells[stripeHint()].n.Add(n)
+}
+
+// AddStripe increments the counter by n on a caller-chosen stripe
+// (reduced modulo NumStripes). Call sites that already carry a shard or
+// allocator stripe get stable affinity this way.
+func (c *Counter) AddStripe(stripe int, n uint64) {
+	c.cells[stripe&(NumStripes-1)].n.Add(n)
+}
+
+// Value returns the counter's current total.
+func (c *Counter) Value() uint64 {
+	var t uint64
+	for i := range c.cells {
+		t += c.cells[i].n.Load()
+	}
+	return t
+}
+
+// Gauge is a lock-free instantaneous value (a level, not a rate). The
+// zero value is ready to use.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores the gauge's value.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add moves the gauge by d.
+func (g *Gauge) Add(d int64) { g.v.Add(d) }
+
+// Value returns the gauge's current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// SampleShift fixes the sampling ratio of the hot gated timing paths:
+// with the Gate on, Get/Put and arena Persist/Sync clock one call in
+// 2^SampleShift. A time.Now/Since pair costs ~100–150 ns on hosts with
+// a slow clock read, which a sub-microsecond op cannot absorb on every
+// call; at one in sixteen the amortised clock cost sits well inside the
+// ~10% enabled-overhead budget while a steady workload still fills the
+// histograms within a few hundred ops. Rare or long operations
+// (Delete, Scan, PutBatch, recovery) are timed unsampled — for them the
+// clock pair is already in the noise.
+const SampleShift = 4
+
+// Sampler decides which calls on a gated timing path actually read the
+// clock: a striped wait-free call counter, hit on every 2^SampleShift-th
+// call per stripe (the first call of each stripe hits, so a freshly
+// enabled gate shows a histogram after one op). The zero value is ready
+// to use.
+type Sampler struct {
+	cells [NumStripes]cell
+}
+
+// Hit reports whether this call should be timed.
+func (s *Sampler) Hit() bool {
+	return (s.cells[stripeHint()].n.Add(1)-1)&(1<<SampleShift-1) == 0
+}
+
+// Gate is the single atomic flag that turns clock-touching
+// instrumentation (histogram timing) on. Counters ignore it — they are
+// cheap enough to always run. The zero value is off.
+type Gate struct {
+	on atomic.Bool
+}
+
+// Enabled reports whether timed instrumentation is on. This is the one
+// check a hot path performs before reaching for the clock.
+func (g *Gate) Enabled() bool { return g.on.Load() }
+
+// Set turns timed instrumentation on or off.
+func (g *Gate) Set(on bool) { g.on.Store(on) }

@@ -39,9 +39,11 @@ import (
 	"math/rand"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"github.com/casl-sdsu/hart/internal/cachesim"
 	"github.com/casl-sdsu/hart/internal/latency"
+	"github.com/casl-sdsu/hart/internal/obs"
 )
 
 // Ptr is a persistent pointer: a byte offset into an Arena. The zero value
@@ -146,6 +148,8 @@ type Stats struct {
 	Writes int64
 	// BytesWritten is the total payload of store operations.
 	BytesWritten int64
+	// Syncs counts whole-device Sync calls.
+	Syncs int64
 }
 
 // Arena is one simulated PM device. Loads and stores to disjoint regions
@@ -180,6 +184,18 @@ type Arena struct {
 	reads          atomic.Int64
 	writes         atomic.Int64
 	bytesWritten   atomic.Int64
+	syncs          atomic.Int64
+
+	// timing gates the Persist/Sync latency histograms below: one atomic
+	// flag load on the persist path when off (obs.Gate); when on, sample
+	// clocks one persist in 2^obs.SampleShift — persists fire several
+	// times per write op, so unsampled timing would multiply a slow
+	// host's clock cost past the enabled-overhead budget. Counters above
+	// are always on.
+	timing   obs.Gate
+	sample   obs.Sampler
+	persistH obs.Histogram
+	syncH    obs.Histogram
 }
 
 // New creates and formats a fresh arena on the simulated in-memory
@@ -252,7 +268,16 @@ func newArena(be Backend, cfg Config) *Arena {
 // Sync flushes the entire arena on its medium: msync for a file backend,
 // no-op in memory. It is the whole-device durability point Close also
 // takes; Persist remains the fine-grained one.
-func (a *Arena) Sync() error { return a.backend.Sync() }
+func (a *Arena) Sync() error {
+	a.syncs.Add(1)
+	if a.timing.Enabled() {
+		start := time.Now()
+		err := a.backend.Sync()
+		a.syncH.Record(time.Since(start).Nanoseconds())
+		return err
+	}
+	return a.backend.Sync()
+}
 
 // Close flushes and releases the medium. The arena must not be written
 // after Close; a file-backed arena's data slice is unmapped and must not
@@ -484,7 +509,21 @@ func (a *Arena) Persist(p Ptr, size int) {
 
 // persistAt is Persist without the bounds check; only the arena's own
 // header persists (Reserve's cursor update) take this entry directly.
+// It times the persist when the obs gate is on (one atomic flag load
+// otherwise).
 func (a *Arena) persistAt(p Ptr, size int) {
+	if a.timing.Enabled() && a.sample.Hit() {
+		start := time.Now()
+		a.persistNow(p, size)
+		a.persistH.Record(time.Since(start).Nanoseconds())
+		return
+	}
+	a.persistNow(p, size)
+}
+
+// persistNow applies one persist: crash-injection check, latency charge,
+// cache flush, media flush.
+func (a *Arena) persistNow(p Ptr, size int) {
 	if fa := a.failAfter.Load(); fa >= 0 && a.persists.Load() >= fa {
 		panic(CrashError{Persists: a.persists.Load(), Site: a.PersistSite()})
 	}
@@ -512,7 +551,16 @@ func (a *Arena) persistRange(off, size int64) {
 	for line := first; line <= last; line++ {
 		lo := line * lineSize
 		hi := min(lo+lineSize, int64(len(a.data)))
-		copy(a.shadow[lo:hi], a.data[lo:hi])
+		// Word-wise atomic loads, not a slicecopy: the flush granule is a
+		// whole line, so this reads neighbour words inside the line that a
+		// concurrent writer may be atomically storing (e.g. WriteWords
+		// initialising the adjacent object). Atomic loads make that pairing
+		// race-free and untorn, matching ReadWords' contract.
+		w := lo
+		for ; w+8 <= hi; w += 8 {
+			binary.LittleEndian.PutUint64(a.shadow[w:], le64(atomic.LoadUint64(a.word(Ptr(w)))))
+		}
+		copy(a.shadow[w:hi], a.data[w:hi])
 		a.dirty[line/64].And(^uint64(1 << uint(line%64)))
 	}
 }
@@ -624,5 +672,16 @@ func (a *Arena) Stats() Stats {
 		Reads:          a.reads.Load(),
 		Writes:         a.writes.Load(),
 		BytesWritten:   a.bytesWritten.Load(),
+		Syncs:          a.syncs.Load(),
 	}
+}
+
+// EnableTiming turns the Persist/Sync latency histograms on or off
+// (core's EnableMetrics flips this together with its own op timing).
+func (a *Arena) EnableTiming(on bool) { a.timing.Set(on) }
+
+// TimingSnapshots returns the Persist and Sync latency histograms
+// (all-zero until EnableTiming(true) has let them record).
+func (a *Arena) TimingSnapshots() (persist, sync obs.HistSnapshot) {
+	return a.persistH.Snapshot(), a.syncH.Snapshot()
 }

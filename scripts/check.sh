@@ -55,3 +55,14 @@ go test -race -count=1 -run 'RunRestartSmoke' ./internal/bench/
 go test -race -count=1 -run 'Elastic|SplitsRoute|VariableDepth' ./internal/core/ ./internal/hashdir/
 go test -count=1 -run 'ModelCheckElastic' ./internal/modelcheck/
 go test -race -count=1 -run 'RunSkewSmoke' ./internal/bench/
+
+# Observability: the obs package's lock-free counters, histograms and
+# event ring under the race detector; the zero-alloc assertions pinning
+# the disabled-metrics read path; Stats()/Metrics() hammered against
+# concurrent writers; and the metrics-overhead benchmark harness at toy
+# scale, which includes a live Prometheus scrape of the instrumented
+# store. scripts/benchdiff.sh gates BENCH_obs.json.
+go test -race -count=1 ./internal/obs/
+go test -count=1 -run 'TestMetricsZeroAllocDisabledGet|TestWritePathZeroAlloc' ./internal/core/ ./internal/bench/
+go test -race -count=1 -run 'TestMetrics|TestStatsMetricsRace' ./internal/core/
+go test -race -count=1 -run 'RunObsSmoke|LiveSnapshot' ./internal/bench/
