@@ -20,8 +20,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 
 	"github.com/casl-sdsu/hart/internal/bench"
 	"github.com/casl-sdsu/hart/internal/latency"
@@ -31,13 +33,14 @@ import (
 
 func main() {
 	var (
-		fig     = flag.String("fig", "all", "figure to run: all, 4, 5, 6, 7, 8, 9, 10a, 10b, 10c, 10d, summary, ablation, readpath, writepath, recovery, restart, skew, obs")
+		fig     = flag.String("fig", "all", "figure to run: all, 4, 5, 6, 7, 8, 9, 10a, 10b, 10c, 10d, summary, ablation, readpath, writepath, recovery, restart, skew, obs, wire")
 		rpOut   = flag.String("readpath-out", "BENCH_readpath.json", "output file for -fig readpath")
 		wpOut   = flag.String("writepath-out", "BENCH_writepath.json", "output file for -fig writepath")
 		recOut  = flag.String("recovery-out", "BENCH_recovery.json", "output file for -fig recovery")
 		rstOut  = flag.String("restart-out", "BENCH_restart.json", "output file for -fig restart")
 		skOut   = flag.String("skew-out", "BENCH_skew.json", "output file for -fig skew")
 		obsOut  = flag.String("obs-out", "BENCH_obs.json", "output file for -fig obs")
+		wireOut = flag.String("wire-out", "BENCH_wire.json", "output file for -fig wire")
 		mAddr   = flag.String("metrics-addr", "", "serve Prometheus /metrics and expvar /debug/vars for the store under measurement (e.g. :9090)")
 		dist    = flag.String("dist", "uniform", "mixed-workload request distribution: uniform (the paper's) or zipf")
 		theta   = flag.Float64("theta", 0.99, "zipfian skew parameter for -dist zipf, in (0, 1)")
@@ -103,6 +106,24 @@ func main() {
 		defer srv.Close()
 	}
 
+	// An interrupt mid-run must not strand a file-backed experiment
+	// store dirty: close (drain + sync + clean flag) whatever is open,
+	// then exit with the conventional 128+signal code.
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		sig := <-sigCh
+		fmt.Fprintf(os.Stderr, "hartbench: %s: closing active stores\n", sig)
+		code := 130 // SIGINT
+		if sig == syscall.SIGTERM {
+			code = 143
+		}
+		if err := bench.CloseActive(); err != nil {
+			fmt.Fprintf(os.Stderr, "hartbench: close: %v\n", err)
+		}
+		os.Exit(code)
+	}()
+
 	var (
 		rep bench.Report
 		err error
@@ -147,6 +168,9 @@ func main() {
 		return
 	case "obs":
 		runObs(cfg, *obsOut)
+		return
+	case "wire":
+		runWire(cfg, *wireOut)
 		return
 	case "summary":
 		rep, err = runBasics(cfg)
@@ -269,6 +293,27 @@ func runSkew(cfg bench.Config, out string) {
 // for the observability layer).
 func runObs(cfg bench.Config, out string) {
 	rep, err := bench.RunObs(cfg)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	rep.FprintTable(os.Stdout)
+	f, err := os.Create(out)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	defer f.Close()
+	if err := rep.WriteJSON(f); err != nil {
+		fatalf("%v", err)
+	}
+	fmt.Fprintf(os.Stderr, "hartbench: wrote %s\n", out)
+}
+
+// runWire runs the hartsoak service-layer comparison — naive vs
+// pipelined clients over real TCP connections to an in-process hartd —
+// and records it as JSON (the throughput evidence for the wire
+// protocol's pipelining and Put coalescing).
+func runWire(cfg bench.Config, out string) {
+	rep, err := bench.RunWire(cfg)
 	if err != nil {
 		fatalf("%v", err)
 	}

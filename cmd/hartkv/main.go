@@ -5,7 +5,9 @@
 // delete is durable against a process crash with no save step, and each
 // start re-attaches and runs HART's recovery (Algorithm 7). "sync"
 // flushes the mapping for machine-crash durability and "quit" closes the
-// store cleanly. A -db file that exists but cannot be attached — torn,
+// store cleanly; so does a SIGINT (Ctrl-C) or SIGTERM, which syncs and
+// closes the store before exiting rather than abandoning a dirty
+// image. A -db file that exists but cannot be attached — torn,
 // truncated, not a HART store, or created with different geometry — is
 // refused outright; hartkv never falls back to an empty store over a
 // path that holds data.
@@ -29,20 +31,31 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"sort"
 	"strings"
+	"syscall"
 
 	hart "github.com/casl-sdsu/hart"
 	"github.com/casl-sdsu/hart/internal/obs"
 )
 
 func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+// run is the shell body, separated from main so the process-level tests
+// can re-exec it through a helper with a scripted stdin.
+func run(args []string) int {
+	fs := flag.NewFlagSet("hartkv", flag.ContinueOnError)
 	var (
-		dbPath = flag.String("db", "", "PM image file (created if missing; empty = in-memory only)")
-		size   = flag.Int64("size", 64<<20, "arena size for a fresh store")
-		mAddr  = flag.String("metrics-addr", "", "serve Prometheus /metrics and expvar /debug/vars for this store (e.g. :9090)")
+		dbPath = fs.String("db", "", "PM image file (created if missing; empty = in-memory only)")
+		size   = fs.Int64("size", 64<<20, "arena size for a fresh store")
+		mAddr  = fs.String("metrics-addr", "", "serve Prometheus /metrics and expvar /debug/vars for this store (e.g. :9090)")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	var db *hart.DB
 	var err error
@@ -57,7 +70,7 @@ func main() {
 			// empty one: the old path fell back to hart.New here and then
 			// clobbered the image on quit, losing every record in it.
 			fmt.Fprintf(os.Stderr, "hartkv: cannot open %s: %v\n", *dbPath, err)
-			os.Exit(1)
+			return 1
 		}
 		how := "created"
 		if existed {
@@ -71,9 +84,25 @@ func main() {
 		db, err = hart.New(hart.Options{ArenaSize: *size})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "hartkv:", err)
-			os.Exit(1)
+			return 1
 		}
 	}
+
+	// Ctrl-C (or a SIGTERM) must not strand a file-backed store dirty:
+	// sync + close — the clean-shutdown flag is the last write — then
+	// exit. The handler normally fires while the shell is blocked on
+	// stdin, so nothing else is touching the store.
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		sig := <-sigCh
+		fmt.Fprintf(os.Stderr, "\nhartkv: %s: closing store\n", sig)
+		if err := db.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "hartkv: close failed:", err)
+			os.Exit(1)
+		}
+		os.Exit(0)
+	}()
 
 	if *mAddr != "" {
 		srv := obs.Serve(*mAddr, "hart", db.Metrics, func(err error) {
@@ -214,9 +243,9 @@ func main() {
 		case "quit", "exit":
 			if err := db.Close(); err != nil {
 				fmt.Println("close failed:", err)
-				os.Exit(1)
+				return 1
 			}
-			return
+			return 0
 		case "help":
 			fmt.Println("commands: put get del scan len stats metrics events check sync quit")
 		default:
@@ -224,6 +253,13 @@ func main() {
 		}
 		fmt.Print("> ")
 	}
+	// Stdin ended without "quit" (scripted input, closed terminal):
+	// close anyway so a file-backed image comes back clean.
+	if err := db.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "hartkv: close failed:", err)
+		return 1
+	}
+	return 0
 }
 
 // sortedNames returns a map's keys in sorted order for stable output.

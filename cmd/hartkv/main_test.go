@@ -1,0 +1,146 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	hart "github.com/casl-sdsu/hart"
+)
+
+// TestHelperHartkv is the shell body for the process-level tests,
+// active only under HARTKV_TEST_DB: it runs the real run() — flag
+// parsing, hart.Open, the command loop, the signal handler — so a
+// SIGINT exercises exactly the production close-on-interrupt path.
+func TestHelperHartkv(t *testing.T) {
+	path := os.Getenv("HARTKV_TEST_DB")
+	if path == "" {
+		t.Skip("helper process body; run via the signal tests")
+	}
+	code := run([]string{"-db", path, "-size", fmt.Sprint(16 << 20)})
+	if code != 0 {
+		t.Fatalf("hartkv exited %d", code)
+	}
+}
+
+// startShell spawns hartkv (via the helper) on path with a stdin pipe
+// and returns the pipe plus a channel that yields each stdout line.
+func startShell(t *testing.T, path string) (*exec.Cmd, io.WriteCloser, <-chan string) {
+	t.Helper()
+	cmd := exec.Command(os.Args[0], "-test.run=TestHelperHartkv$")
+	cmd.Env = append(os.Environ(), "HARTKV_TEST_DB="+path)
+	cmd.Stderr = os.Stderr
+	stdin, err := cmd.StdinPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatalf("start hartkv: %v", err)
+	}
+	t.Cleanup(func() {
+		cmd.Process.Kill()
+		cmd.Wait()
+	})
+	lines := make(chan string, 64)
+	go func() {
+		sc := bufio.NewScanner(stdout)
+		for sc.Scan() {
+			lines <- sc.Text()
+		}
+		close(lines)
+	}()
+	return cmd, stdin, lines
+}
+
+// waitForLine reads shell output until a line containing want appears.
+func waitForLine(t *testing.T, lines <-chan string, want string) {
+	t.Helper()
+	deadline := time.After(30 * time.Second)
+	for {
+		select {
+		case line, ok := <-lines:
+			if !ok {
+				t.Fatalf("shell exited before printing %q", want)
+			}
+			if strings.Contains(line, want) {
+				return
+			}
+		case <-deadline:
+			t.Fatalf("shell never printed %q", want)
+		}
+	}
+}
+
+// TestSigintClosesStore is the satellite's hartkv half: interrupt a
+// file-backed shell mid-session and the image must reopen clean with
+// every completed write present.
+func TestSigintClosesStore(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sigint.hart")
+	cmd, stdin, lines := startShell(t, path)
+
+	const N = 300
+	fmt.Fprintf(stdin, "fill %d sig\n", N)
+	waitForLine(t, lines, fmt.Sprintf("inserted %d records", N))
+
+	// The fill is acknowledged; now interrupt without "quit".
+	if err := cmd.Process.Signal(syscall.SIGINT); err != nil {
+		t.Fatalf("signal: %v", err)
+	}
+	err := cmd.Wait()
+	if err != nil {
+		t.Fatalf("hartkv exit after SIGINT: %v (want exit 0)", err)
+	}
+
+	db, err := hart.Open(path, hart.Options{})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer db.Close()
+	if !db.LastRecoveryStats().WasClean {
+		t.Fatal("SIGINT left the store marked dirty")
+	}
+	if db.Len() != N {
+		t.Fatalf("reopened Len = %d, want %d", db.Len(), N)
+	}
+	if v, ok := db.Get([]byte(fmt.Sprintf("sig%08d", N-1))); !ok || string(v) != fmt.Sprintf("%08d", N-1) {
+		t.Fatalf("last filled record missing after interrupt: %q, %v", v, ok)
+	}
+}
+
+// TestStdinEOFClosesStore pins the scripted-input path: piping commands
+// in without a trailing "quit" still leaves a clean image.
+func TestStdinEOFClosesStore(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "eof.hart")
+	cmd, stdin, lines := startShell(t, path)
+
+	fmt.Fprintln(stdin, "put scripted done")
+	fmt.Fprintln(stdin, "get scripted")
+	waitForLine(t, lines, "done")
+	stdin.Close()
+	if err := cmd.Wait(); err != nil {
+		t.Fatalf("hartkv exit after stdin EOF: %v (want exit 0)", err)
+	}
+
+	db, err := hart.Open(path, hart.Options{})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer db.Close()
+	if !db.LastRecoveryStats().WasClean {
+		t.Fatal("stdin EOF left the store marked dirty")
+	}
+	if v, ok := db.Get([]byte("scripted")); !ok || string(v) != "done" {
+		t.Fatalf("record missing after EOF close: %q, %v", v, ok)
+	}
+}

@@ -1,0 +1,67 @@
+package bench
+
+import "sync"
+
+// Signal-safety hook for the CLI: experiments that open file-backed
+// stores register a closer here so hartbench's SIGINT/SIGTERM handler
+// can drain and close them — flushing the mapping and writing the
+// clean-shutdown flag — instead of leaving a dirty image behind when
+// the user interrupts a long run. Registered closers must perform the
+// durability-safe ordering themselves (server drain before store
+// Close) and be idempotent, because the interrupted experiment's own
+// cleanup may race the handler's.
+
+var (
+	activeMu      sync.Mutex
+	activeSeq     int
+	activeClosers = map[int]func() error{}
+)
+
+// trackCloser registers fn as an open resource and returns its
+// unregister function. Unregistering is idempotent.
+func trackCloser(fn func() error) (untrack func()) {
+	activeMu.Lock()
+	activeSeq++
+	id := activeSeq
+	activeClosers[id] = fn
+	activeMu.Unlock()
+	return func() {
+		activeMu.Lock()
+		delete(activeClosers, id)
+		activeMu.Unlock()
+	}
+}
+
+// CloseActive closes every registered resource, newest first (a cell's
+// server drains before anything beneath it), and reports the first
+// error. The registry is emptied either way; it is meant to run once,
+// on the way out of an interrupted process.
+func CloseActive() error {
+	activeMu.Lock()
+	closers := make([]func() error, 0, len(activeClosers))
+	ids := make([]int, 0, len(activeClosers))
+	for id := range activeClosers {
+		ids = append(ids, id)
+	}
+	// Newest first: higher id = registered later.
+	for i := range ids {
+		for j := i + 1; j < len(ids); j++ {
+			if ids[j] > ids[i] {
+				ids[i], ids[j] = ids[j], ids[i]
+			}
+		}
+	}
+	for _, id := range ids {
+		closers = append(closers, activeClosers[id])
+	}
+	activeClosers = map[int]func() error{}
+	activeMu.Unlock()
+
+	var first error
+	for _, fn := range closers {
+		if err := fn(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

@@ -1,0 +1,53 @@
+package bench
+
+import (
+	"errors"
+	"testing"
+)
+
+// TestActiveCloserRegistry pins the interrupt-path contract: closers
+// run newest-first, untracked closers don't run, the registry empties
+// after CloseActive, and the first error wins.
+func TestActiveCloserRegistry(t *testing.T) {
+	var order []string
+	mk := func(name string, err error) func() error {
+		return func() error {
+			order = append(order, name)
+			return err
+		}
+	}
+	u1 := trackCloser(mk("oldest", nil))
+	u2 := trackCloser(mk("middle", errors.New("middle failed")))
+	u3 := trackCloser(mk("newest", errors.New("newest failed")))
+	_ = u1
+	_ = u3
+
+	// An untracked closer must not run.
+	uGone := trackCloser(mk("gone", nil))
+	uGone()
+	uGone() // idempotent
+
+	if err := CloseActive(); err == nil || err.Error() != "newest failed" {
+		t.Fatalf("CloseActive error = %v, want first (newest) error", err)
+	}
+	want := []string{"newest", "middle", "oldest"}
+	if len(order) != len(want) {
+		t.Fatalf("ran %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("ran %v, want %v", order, want)
+		}
+	}
+
+	// Registry is now empty: a second pass is a no-op...
+	order = order[:0]
+	if err := CloseActive(); err != nil {
+		t.Fatalf("second CloseActive: %v", err)
+	}
+	if len(order) != 0 {
+		t.Fatalf("second CloseActive ran %v", order)
+	}
+	// ...and untracking after the sweep is harmless.
+	u2()
+}

@@ -89,6 +89,9 @@ func buildRestartStore(path string, c Config) ([][]byte, error) {
 		arena.Close()
 		return nil, err
 	}
+	// Visible to the CLI's interrupt handler while the load runs, so a
+	// SIGINT syncs and closes the image instead of abandoning it dirty.
+	defer trackCloser(h.Close)()
 	keys := workload.Random(c.Records, c.Seed)
 	val := restartValue(c.ValueSize)
 	const batch = 4096
@@ -146,6 +149,7 @@ func timeRestart(path string, keys [][]byte, val []byte, opts core.Options) (tOp
 		arena.Close()
 		return 0, 0, 0, false, nil, err
 	}
+	defer trackCloser(h.Close)()
 	tOpen = time.Since(start)
 	probe := keys[len(keys)/2]
 	v, ok := h.Get(probe)

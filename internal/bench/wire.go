@@ -1,0 +1,357 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"github.com/casl-sdsu/hart/client"
+	"github.com/casl-sdsu/hart/internal/core"
+	"github.com/casl-sdsu/hart/internal/obs"
+	"github.com/casl-sdsu/hart/internal/pmem"
+	"github.com/casl-sdsu/hart/internal/server"
+	"github.com/casl-sdsu/hart/internal/workload"
+)
+
+// Wire experiment (hartsoak): end-to-end ops/s and latency through the
+// hartd service layer — real TCP loopback connections, the binary
+// protocol, and the server's per-connection pipeline — rather than
+// in-process calls. Two client strategies per connection count:
+//
+//	naive      — one request per round trip, the classic synchronous
+//	             client: every op pays a full network RTT;
+//	pipelined  — bursts of WirePipelineDepth requests per flush via
+//	             client.Pipeline; the server decodes while executing,
+//	             coalesces the in-flight Puts into PutBatch (one COW
+//	             republication per group), and streams responses back.
+//
+// Each cell runs on a fresh file-backed store so its latency
+// histograms cover exactly that cell. Naive latencies are true
+// per-request round trips; pipelined latencies are per-burst time
+// amortised over the burst (the steady-state per-op cost a pipelining
+// client observes), recorded once per burst.
+//
+// The headline number is PipelinedSpeedup: pipelined put throughput ÷
+// naive put throughput at each connection count. Loopback RTT is small,
+// so the measured win is conservative against any real network.
+
+// WirePipelineDepth is the burst size of the pipelined client strategy.
+const WirePipelineDepth = 64
+
+// WireResult is one measured cell, shaped like the other experiment
+// rows so scripts/benchdiff.sh can gate it: (mode, op, threads) → ns.
+type WireResult struct {
+	// Mode is "naive" or "pipelined".
+	Mode string `json:"mode"`
+	// Op is "put" or "get".
+	Op string `json:"op"`
+	// Threads is the client connection count.
+	Threads int `json:"threads"`
+	// NsPerOp is wall time per op across all connections.
+	NsPerOp float64 `json:"ns_per_op"`
+	// MOPS is the corresponding throughput in millions of ops/s.
+	MOPS float64 `json:"mops"`
+	// P50Ns/P95Ns/P99Ns are client-observed latency percentiles (true
+	// RTTs for naive; per-burst amortised for pipelined).
+	P50Ns uint64 `json:"p50_ns"`
+	P95Ns uint64 `json:"p95_ns"`
+	P99Ns uint64 `json:"p99_ns"`
+}
+
+// WireReport is the BENCH_wire.json document.
+type WireReport struct {
+	// OpsPerCell is the operation count each (mode, op, conns) cell ran;
+	// ValueSize the record payload bytes.
+	OpsPerCell int    `json:"ops_per_cell"`
+	ValueSize  int    `json:"value_size"`
+	Dist       string `json:"dist"`
+	// Conns lists the connection counts measured.
+	Conns   []int        `json:"conns"`
+	Results []WireResult `json:"results"`
+	// PipelinedSpeedup maps each connection count to pipelined ÷ naive
+	// put throughput — the wire-level payoff of riding PutBatch.
+	PipelinedSpeedup map[string]float64 `json:"pipelined_speedup"`
+	// ServerCounters is the last cell's daemon-side view (requests,
+	// batches formed, puts coalesced).
+	ServerCounters map[string]uint64 `json:"server_counters,omitempty"`
+	// Metrics is the last cell's store snapshot; its ops.put_batch vs
+	// ops.put counters show the coalescing the speedup comes from.
+	Metrics *obs.Snapshot `json:"metrics,omitempty"`
+}
+
+// WriteJSON writes the report document.
+func (r *WireReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// FprintTable renders the report for terminals.
+func (r *WireReport) FprintTable(w io.Writer) {
+	fmt.Fprintf(w, "\n== hartsoak: wire service layer (%d ops/cell, %s, %dB values) ==\n",
+		r.OpsPerCell, r.Dist, r.ValueSize)
+	fmt.Fprintf(w, "%-10s %-6s %-6s %12s %10s %10s %10s %10s\n",
+		"mode", "op", "conns", "ns/op", "Mops/s", "p50 ns", "p95 ns", "p99 ns")
+	for _, res := range r.Results {
+		fmt.Fprintf(w, "%-10s %-6s %-6d %12.0f %10.3f %10d %10d %10d\n",
+			res.Mode, res.Op, res.Threads, res.NsPerOp, res.MOPS,
+			res.P50Ns, res.P95Ns, res.P99Ns)
+	}
+	for _, nc := range r.Conns {
+		if s, ok := r.PipelinedSpeedup[fmt.Sprint(nc)]; ok {
+			fmt.Fprintf(w, "pipelined put speedup @%d conns: %.2fx\n", nc, s)
+		}
+	}
+}
+
+// wireCell is one live server over a fresh file-backed store.
+type wireCell struct {
+	h       *core.HART
+	srv     *server.Server
+	addr    string
+	dir     string
+	err     chan error
+	once    sync.Once
+	cerr    error
+	untrack func()
+}
+
+// startWireCell builds a fresh store, preloads it, and serves it.
+func startWireCell(c Config, preload [][]byte, val []byte) (*wireCell, error) {
+	dir, err := os.MkdirTemp("", "hartwire")
+	if err != nil {
+		return nil, err
+	}
+	fail := func(e error) (*wireCell, error) {
+		os.RemoveAll(dir)
+		return nil, e
+	}
+	arena, _, err := pmem.OpenFileArena(filepath.Join(dir, "wire.hart"),
+		pmem.Config{Size: recoveryArenaSize(len(preload) + c.MixedOps)})
+	if err != nil {
+		return fail(err)
+	}
+	h, err := core.NewOnArena(arena, core.Options{UnloggedUpdates: true})
+	if err != nil {
+		arena.Close()
+		return fail(err)
+	}
+	recs := make([]core.Record, 0, 4096)
+	for i, k := range preload {
+		recs = append(recs, core.Record{Key: k, Value: val})
+		if len(recs) == cap(recs) || i == len(preload)-1 {
+			if _, err := h.PutBatch(recs); err != nil {
+				h.Close()
+				return fail(err)
+			}
+			recs = recs[:0]
+		}
+	}
+	srv := server.New(h, server.Options{})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		h.Close()
+		return fail(err)
+	}
+	cell := &wireCell{h: h, srv: srv, addr: ln.Addr().String(), dir: dir, err: make(chan error, 1)}
+	// Registered for the CLI's interrupt handler: a SIGINT mid-soak
+	// drains the cell's server and closes its store cleanly.
+	cell.untrack = trackCloser(cell.close)
+	go func() { cell.err <- srv.Serve(ln) }()
+	return cell, nil
+}
+
+// close drains the server, closes the store and removes the cell's
+// dir. Idempotent: the interrupt handler's sweep may race the
+// experiment's own cleanup.
+func (w *wireCell) close() error {
+	w.once.Do(func() {
+		w.untrack()
+		w.srv.Shutdown()
+		serr := <-w.err
+		cerr := w.h.Close()
+		os.RemoveAll(w.dir)
+		w.cerr = cerr
+		if serr != nil {
+			w.cerr = serr
+		}
+	})
+	return w.cerr
+}
+
+// wirePhase runs one (mode, op) phase across nc connections and returns
+// elapsed wall time. Per-connection work is opsPerConn requests; keys
+// gives each connection its targets.
+func wirePhase(addr, mode, op string, nc, opsPerConn int, keys [][][]byte, val []byte, hist *obs.Histogram) (time.Duration, error) {
+	var wg sync.WaitGroup
+	errCh := make(chan error, nc)
+	start := time.Now()
+	for ci := 0; ci < nc; ci++ {
+		wg.Add(1)
+		go func(ci int) {
+			defer wg.Done()
+			cl, err := client.Dial(addr)
+			if err != nil {
+				errCh <- err
+				return
+			}
+			defer cl.Close()
+			mine := keys[ci]
+			switch mode {
+			case "naive":
+				for i := 0; i < opsPerConn; i++ {
+					t0 := time.Now()
+					if op == "put" {
+						err = cl.Put(mine[i], val)
+					} else {
+						_, err = cl.Get(mine[i])
+					}
+					if err != nil {
+						errCh <- fmt.Errorf("wire %s %s conn %d: %w", mode, op, ci, err)
+						return
+					}
+					hist.Record(time.Since(t0).Nanoseconds())
+				}
+			case "pipelined":
+				p := cl.Pipeline()
+				for done := 0; done < opsPerConn; {
+					burst := min(WirePipelineDepth, opsPerConn-done)
+					for i := 0; i < burst; i++ {
+						if op == "put" {
+							err = p.Put(mine[done+i], val)
+						} else {
+							err = p.Get(mine[done+i])
+						}
+						if err != nil {
+							errCh <- fmt.Errorf("wire queue conn %d: %w", ci, err)
+							return
+						}
+					}
+					t0 := time.Now()
+					res, err := p.Exec()
+					if err != nil {
+						errCh <- fmt.Errorf("wire exec conn %d: %w", ci, err)
+						return
+					}
+					for _, r := range res {
+						if r.Err != nil {
+							errCh <- fmt.Errorf("wire pipelined %s conn %d: %w", op, ci, r.Err)
+							return
+						}
+					}
+					hist.Record(time.Since(t0).Nanoseconds() / int64(burst))
+					done += burst
+				}
+			}
+		}(ci)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	close(errCh)
+	for err := range errCh {
+		if err != nil {
+			return 0, err
+		}
+	}
+	return elapsed, nil
+}
+
+// RunWire runs the wire service-layer soak: naive vs pipelined clients
+// at each connection count in c.PathThreads (default 1/4/8).
+func RunWire(c Config) (*WireReport, error) {
+	c = c.WithDefaults()
+	conns := c.PathThreads
+	if len(conns) == 0 {
+		conns = []int{1, 4, 8}
+	}
+	ops := c.MixedOps
+	val := restartValue(c.ValueSize)
+
+	// Preloaded keys serve the get phases; targets are drawn from them
+	// by the configured distribution (uniform or zipf). Draws happen
+	// here, single-threaded — Distribution values are not safe for
+	// concurrent use — and each connection gets its own target list.
+	preload := workload.Random(max(ops, 10000), c.Seed)
+	rep := &WireReport{
+		OpsPerCell:       ops,
+		ValueSize:        c.ValueSize,
+		Dist:             c.Dist.Name,
+		Conns:            conns,
+		PipelinedSpeedup: map[string]float64{},
+	}
+
+	putNs := map[string]map[int]float64{"naive": {}, "pipelined": {}}
+	for _, nc := range conns {
+		opsPerConn := ops / nc
+		for _, mode := range []string{"naive", "pipelined"} {
+			fmt.Fprintf(c.Out, "wire: %-10s %d conns × %d ops\n", mode, nc, opsPerConn)
+			cell, err := startWireCell(c, preload, val)
+			if err != nil {
+				return nil, err
+			}
+
+			// Fresh keys for puts (inserts), distribution-drawn targets
+			// for gets.
+			rng := rand.New(rand.NewSource(c.Seed + int64(nc)*31 + int64(len(mode))))
+			putKeys := make([][][]byte, nc)
+			getKeys := make([][][]byte, nc)
+			for ci := 0; ci < nc; ci++ {
+				putKeys[ci] = make([][]byte, opsPerConn)
+				getKeys[ci] = make([][]byte, opsPerConn)
+				for i := 0; i < opsPerConn; i++ {
+					putKeys[ci][i] = []byte(fmt.Sprintf("w%02d-%08d", ci, i))
+					getKeys[ci][i] = preload[c.Dist.Pick(rng, len(preload))]
+				}
+			}
+
+			for _, op := range []string{"put", "get"} {
+				var hist obs.Histogram
+				keys := putKeys
+				if op == "get" {
+					keys = getKeys
+				}
+				elapsed, err := wirePhase(cell.addr, mode, op, nc, opsPerConn, keys, val, &hist)
+				if err != nil {
+					cell.close()
+					return nil, err
+				}
+				total := nc * opsPerConn
+				nsPerOp := float64(elapsed.Nanoseconds()) / float64(total)
+				snap := hist.Snapshot()
+				hs := snap.Summary()
+				rep.Results = append(rep.Results, WireResult{
+					Mode: mode, Op: op, Threads: nc,
+					NsPerOp: nsPerOp,
+					MOPS:    1e3 / nsPerOp, // ns/op → Mops/s
+					P50Ns:   hs.P50Ns, P95Ns: hs.P95Ns, P99Ns: hs.P99Ns,
+				})
+				if op == "put" {
+					putNs[mode][nc] = nsPerOp
+				}
+			}
+
+			sm := cell.srv.Metrics()
+			rep.ServerCounters = map[string]uint64{
+				"conns_accepted": sm.ConnsAccepted,
+				"requests":       sm.Requests,
+				"puts_coalesced": sm.PutsCoalesced,
+				"batches_formed": sm.BatchesFormed,
+			}
+			m := cell.h.Metrics()
+			rep.Metrics = &m
+			if err := cell.close(); err != nil {
+				return nil, err
+			}
+		}
+		if n, p := putNs["naive"][nc], putNs["pipelined"][nc]; n > 0 && p > 0 {
+			rep.PipelinedSpeedup[fmt.Sprint(nc)] = n / p
+		}
+	}
+	return rep, nil
+}

@@ -1,0 +1,64 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// TestRunWireSmoke runs the wire soak at toy scale and checks the
+// report's invariants: a result row per (mode, op, conns) cell with
+// positive throughput and latency, percentile ordering, a speedup entry
+// per connection count, coalescing visible in the counters, and a JSON
+// document that round-trips.
+func TestRunWireSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("network soak")
+	}
+	c := Config{
+		Records:     2000,
+		MixedOps:    2000,
+		PathThreads: []int{1, 2},
+	}
+	rep, err := RunWire(c)
+	if err != nil {
+		t.Fatalf("RunWire: %v", err)
+	}
+	if want := len(c.PathThreads) * 2 * 2; len(rep.Results) != want {
+		t.Fatalf("results = %d rows, want %d", len(rep.Results), want)
+	}
+	for _, res := range rep.Results {
+		if res.NsPerOp <= 0 || res.MOPS <= 0 {
+			t.Fatalf("%s/%s@%d: non-positive measurement %+v", res.Mode, res.Op, res.Threads, res)
+		}
+		if res.P50Ns == 0 || res.P50Ns > res.P95Ns || res.P95Ns > res.P99Ns {
+			t.Fatalf("%s/%s@%d: percentile ordering broken: %+v", res.Mode, res.Op, res.Threads, res)
+		}
+	}
+	for _, nc := range c.PathThreads {
+		key := map[int]string{1: "1", 2: "2"}[nc]
+		if rep.PipelinedSpeedup[key] <= 0 {
+			t.Fatalf("missing speedup for %d conns: %v", nc, rep.PipelinedSpeedup)
+		}
+	}
+	// The pipelined cells must actually have coalesced: the last cell is
+	// a pipelined one, so its server counters carry batches.
+	if rep.ServerCounters["batches_formed"] == 0 {
+		t.Fatalf("pipelined cell formed no batches: %v", rep.ServerCounters)
+	}
+	if rep.Metrics == nil || rep.Metrics.Counters["ops.put_batch_records"] == 0 {
+		t.Fatal("store metrics missing coalesced put evidence")
+	}
+
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	var back WireReport
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("report does not round-trip: %v", err)
+	}
+	if len(back.Results) != len(rep.Results) {
+		t.Fatalf("round trip lost rows: %d != %d", len(back.Results), len(rep.Results))
+	}
+}

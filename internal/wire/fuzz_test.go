@@ -1,0 +1,83 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzWireDecode throws arbitrary bytes at both decoders. The
+// properties under test:
+//
+//   - no input panics (the reader's bounds checks are the only guard —
+//     there is no recover anywhere in the package);
+//   - no input makes the decoder allocate beyond the input's own size
+//     class (claimed record counts are bounded by bytes present, so a
+//     decoded message can never hold more records than len(p)/8);
+//   - anything that decodes re-encodes to a payload that decodes to the
+//     same message (the codec is a bijection on its valid set).
+func FuzzWireDecode(f *testing.F) {
+	// Every op's happy path, so the fuzzer starts inside the format.
+	seedReqs := []Request{
+		{Op: OpGet, Key: []byte("seed-key")},
+		{Op: OpPut, Key: []byte("k"), Value: []byte("v")},
+		{Op: OpDelete, Key: []byte("gone")},
+		{Op: OpScan, Start: []byte("a"), End: []byte("z"), Limit: 128},
+		{Op: OpPutBatch, Records: []Record{
+			{Key: []byte("b1"), Value: []byte("v1")},
+			{Key: []byte("b2"), Value: []byte("v2")},
+		}},
+		{Op: OpStats},
+	}
+	for _, r := range seedReqs {
+		p, err := r.AppendRequest(nil)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(p)
+	}
+	scan := Response{Status: StatusOK, More: true,
+		Records: []Record{{Key: []byte("k"), Value: []byte("v")}}}
+	if p, err := scan.AppendResponse(nil, OpScan); err == nil {
+		f.Add(p)
+	}
+	// Adversarial seeds: truncations, hostile counts, bad headers.
+	f.Add([]byte{})
+	f.Add([]byte{Version})
+	f.Add([]byte{Version + 1, byte(OpGet), 0, 1, 'k'})
+	f.Add([]byte{Version, byte(OpPutBatch), 0xff, 0xff, 0xff, 0xff, 0, 0})
+	f.Add([]byte{Version, byte(OpGet), 0xff, 0xff})
+
+	f.Fuzz(func(t *testing.T, p []byte) {
+		if req, err := DecodeRequest(p); err == nil {
+			if len(req.Records) > len(p)/minRecordBytes {
+				t.Fatalf("decoder accepted %d records from %d bytes", len(req.Records), len(p))
+			}
+			re, err := req.AppendRequest(nil)
+			if err != nil {
+				t.Fatalf("re-encode of decoded request failed: %v", err)
+			}
+			req2, err := DecodeRequest(re)
+			if err != nil {
+				t.Fatalf("re-decode failed: %v", err)
+			}
+			if req2.Op != req.Op || !bytes.Equal(req2.Key, req.Key) ||
+				!bytes.Equal(req2.Value, req.Value) || len(req2.Records) != len(req.Records) {
+				t.Fatalf("request round trip diverged: %+v != %+v", req2, req)
+			}
+		}
+		for _, op := range []Op{OpGet, OpPut, OpDelete, OpScan, OpPutBatch, OpStats} {
+			if resp, err := DecodeResponse(p, op); err == nil {
+				if len(resp.Records) > len(p)/minRecordBytes {
+					t.Fatalf("%s decoder accepted %d records from %d bytes", op, len(resp.Records), len(p))
+				}
+				re, err := resp.AppendResponse(nil, op)
+				if err != nil {
+					t.Fatalf("%s: re-encode of decoded response failed: %v", op, err)
+				}
+				if _, err := DecodeResponse(re, op); err != nil {
+					t.Fatalf("%s: re-decode failed: %v", op, err)
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,204 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"testing"
+)
+
+// roundTripRequest encodes then decodes a request and returns the copy.
+func roundTripRequest(t *testing.T, req Request) Request {
+	t.Helper()
+	p, err := req.AppendRequest(nil)
+	if err != nil {
+		t.Fatalf("encode %s: %v", req.Op, err)
+	}
+	got, err := DecodeRequest(p)
+	if err != nil {
+		t.Fatalf("decode %s: %v", req.Op, err)
+	}
+	return got
+}
+
+func TestRequestRoundTrip(t *testing.T) {
+	reqs := []Request{
+		{Op: OpGet, Key: []byte("alpha")},
+		{Op: OpDelete, Key: []byte("k")},
+		{Op: OpPut, Key: []byte("key"), Value: []byte("value-12")},
+		{Op: OpScan, Start: []byte("a"), End: []byte("b"), Limit: 17},
+		{Op: OpScan, Limit: 0}, // unbounded both sides
+		{Op: OpScan, Start: []byte{}, End: nil, Limit: 3},
+		{Op: OpPutBatch, Records: []Record{
+			{Key: []byte("k1"), Value: []byte("v1")},
+			{Key: []byte("k2"), Value: []byte("v2-longer")},
+		}},
+		{Op: OpStats},
+	}
+	for _, req := range reqs {
+		got := roundTripRequest(t, req)
+		if got.Op != req.Op || !bytes.Equal(got.Key, req.Key) || !bytes.Equal(got.Value, req.Value) {
+			t.Fatalf("%s: round trip mangled key/value: %+v != %+v", req.Op, got, req)
+		}
+		if (got.Start == nil) != (req.Start == nil) || !bytes.Equal(got.Start, req.Start) {
+			t.Fatalf("%s: start %v != %v", req.Op, got.Start, req.Start)
+		}
+		if (got.End == nil) != (req.End == nil) || !bytes.Equal(got.End, req.End) {
+			t.Fatalf("%s: end %v != %v", req.Op, got.End, req.End)
+		}
+		if got.Limit != req.Limit || len(got.Records) != len(req.Records) {
+			t.Fatalf("%s: limit/records mismatch: %+v != %+v", req.Op, got, req)
+		}
+		for i := range req.Records {
+			if !bytes.Equal(got.Records[i].Key, req.Records[i].Key) ||
+				!bytes.Equal(got.Records[i].Value, req.Records[i].Value) {
+				t.Fatalf("%s: record %d mismatch", req.Op, i)
+			}
+		}
+	}
+}
+
+func TestResponseRoundTrip(t *testing.T) {
+	cases := []struct {
+		op   Op
+		resp Response
+	}{
+		{OpGet, Response{Status: StatusOK, Value: []byte("payload")}},
+		{OpGet, Response{Status: StatusNotFound, Msg: "not found"}},
+		{OpPut, Response{Status: StatusOK}},
+		{OpPut, Response{Status: StatusValueTooLong, Msg: "value exceeds maximum length"}},
+		{OpDelete, Response{Status: StatusOK}},
+		{OpScan, Response{Status: StatusOK, More: true, Records: []Record{
+			{Key: []byte("a"), Value: []byte("1")},
+			{Key: []byte("b"), Value: []byte("2")},
+		}}},
+		{OpScan, Response{Status: StatusOK}}, // empty page
+		{OpPutBatch, Response{Status: StatusOK, Applied: 42}},
+		{OpPutBatch, Response{Status: StatusServerError, Applied: 7, Msg: "arena full"}},
+		{OpStats, Response{Status: StatusOK, Value: []byte(`{"records":3}`)}},
+	}
+	for _, c := range cases {
+		p, err := c.resp.AppendResponse(nil, c.op)
+		if err != nil {
+			t.Fatalf("encode %s response: %v", c.op, err)
+		}
+		got, err := DecodeResponse(p, c.op)
+		if err != nil {
+			t.Fatalf("decode %s response: %v", c.op, err)
+		}
+		if got.Status != c.resp.Status || got.Applied != c.resp.Applied ||
+			got.More != c.resp.More || got.Msg != c.resp.Msg ||
+			!bytes.Equal(got.Value, c.resp.Value) || len(got.Records) != len(c.resp.Records) {
+			t.Fatalf("%s: round trip %+v != %+v", c.op, got, c.resp)
+		}
+	}
+}
+
+// TestDecodeRequestErrors drives the decoder through every refusal
+// class: short frames, version and opcode garbage, lengths past the
+// payload and counts that outrun the bytes present.
+func TestDecodeRequestErrors(t *testing.T) {
+	put, _ := (&Request{Op: OpPut, Key: []byte("key"), Value: []byte("val")}).AppendRequest(nil)
+
+	cases := []struct {
+		name string
+		p    []byte
+		want error
+	}{
+		{"empty", nil, ErrTruncated},
+		{"version-only", []byte{Version}, ErrTruncated},
+		{"bad-version", []byte{Version + 9, byte(OpGet)}, ErrBadVersion},
+		{"bad-op", []byte{Version, 0}, ErrBadOp},
+		{"bad-op-high", []byte{Version, 200}, ErrBadOp},
+		{"get-no-key", []byte{Version, byte(OpGet)}, ErrTruncated},
+		{"get-key-past-end", []byte{Version, byte(OpGet), 0xff, 0xff, 'k'}, ErrTooLong},
+		{"put-truncated", put[:len(put)-1], ErrTooLong},
+		{"put-trailing", append(append([]byte{}, put...), 0), ErrTruncated},
+		{"scan-no-flags", []byte{Version, byte(OpScan)}, ErrTruncated},
+		{"scan-missing-limit", []byte{Version, byte(OpScan), 0}, ErrTruncated},
+		{"batch-count-overrun", []byte{Version, byte(OpPutBatch), 0xff, 0xff, 0xff, 0xff}, ErrTruncated},
+		{"batch-count-vs-bytes", append([]byte{Version, byte(OpPutBatch), 0, 0, 0, 9}, make([]byte, 16)...), ErrTruncated},
+	}
+	for _, c := range cases {
+		if _, err := DecodeRequest(c.p); !errors.Is(err, c.want) {
+			t.Errorf("%s: err = %v, want %v", c.name, err, c.want)
+		}
+	}
+}
+
+// TestDecodeBoundedAllocation pins the over-allocation defence: a batch
+// claiming 2^32-1 records over a tiny payload must be refused before
+// any record slice is sized from the claim (a panic or an OOM here
+// would be the bug; the assertion is just that it errors).
+func TestDecodeBoundedAllocation(t *testing.T) {
+	p := []byte{Version, byte(OpPutBatch)}
+	p = binary.BigEndian.AppendUint32(p, 0xffffffff)
+	p = append(p, make([]byte, 64)...)
+	if _, err := DecodeRequest(p); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("hostile count: err = %v, want ErrTruncated", err)
+	}
+
+	// Same for a Scan response's record count.
+	rp := []byte{Version, byte(StatusOK)}
+	rp = binary.BigEndian.AppendUint32(rp, 0x7fffffff)
+	rp = append(rp, make([]byte, 32)...)
+	if _, err := DecodeResponse(rp, OpScan); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("hostile scan count: err = %v, want ErrTruncated", err)
+	}
+}
+
+func TestReadFrame(t *testing.T) {
+	var stream []byte
+	stream = AppendFrame(stream, []byte("first"))
+	stream = AppendFrame(stream, []byte(""))
+	stream = AppendFrame(stream, []byte("third-frame"))
+	r := bytes.NewReader(stream)
+	buf := make([]byte, 0, 8)
+	for _, want := range []string{"first", "", "third-frame"} {
+		got, err := ReadFrame(r, buf)
+		if err != nil {
+			t.Fatalf("ReadFrame(%q): %v", want, err)
+		}
+		if string(got) != want {
+			t.Fatalf("ReadFrame = %q, want %q", got, want)
+		}
+		buf = got
+	}
+	if _, err := ReadFrame(r, buf); err != io.EOF {
+		t.Fatalf("stream end: err = %v, want io.EOF", err)
+	}
+
+	// Oversized length prefix is refused before any allocation.
+	huge := binary.BigEndian.AppendUint32(nil, MaxFrame+1)
+	if _, err := ReadFrame(bytes.NewReader(huge), nil); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("oversized frame: err = %v, want ErrFrameTooLarge", err)
+	}
+
+	// A frame cut off mid-payload is ErrTruncated, not a hang or EOF.
+	cut := AppendFrame(nil, []byte("abcdef"))
+	if _, err := ReadFrame(bytes.NewReader(cut[:len(cut)-2]), nil); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("cut frame: err = %v, want ErrTruncated", err)
+	}
+	if _, err := ReadFrame(bytes.NewReader(cut[:2]), nil); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("cut header: err = %v, want ErrTruncated", err)
+	}
+}
+
+// TestRequestEncodeRefusals pins encoder-side limits: oversized keys
+// and frames are refused at encode time, not sent and bounced.
+func TestRequestEncodeRefusals(t *testing.T) {
+	if _, err := (&Request{Op: OpGet, Key: make([]byte, 1<<17)}).AppendRequest(nil); !errors.Is(err, ErrTooLong) {
+		t.Fatalf("oversized key: err = %v, want ErrTooLong", err)
+	}
+	big := Request{Op: OpPutBatch}
+	for i := 0; i < 40; i++ {
+		big.Records = append(big.Records, Record{Key: []byte{byte(i)}, Value: make([]byte, 1<<15)})
+	}
+	if _, err := big.AppendRequest(nil); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("oversized batch: err = %v, want ErrFrameTooLarge", err)
+	}
+	if _, err := (&Request{Op: Op(99)}).AppendRequest(nil); !errors.Is(err, ErrBadOp) {
+		t.Fatalf("bad op: err = %v, want ErrBadOp", err)
+	}
+}

@@ -3,7 +3,7 @@
 #
 # Compares two path-comparison reports (BENCH_readpath.json,
 # BENCH_writepath.json, BENCH_recovery.json, BENCH_restart.json,
-# BENCH_skew.json or BENCH_obs.json — all
+# BENCH_skew.json, BENCH_obs.json or BENCH_wire.json — all
 # carry a results[] array keyed by mode/op/threads with ns_per_op) and
 # flags every cell whose ns_per_op
 # regressed by more than the threshold (default 10%). Exits non-zero if

@@ -66,3 +66,17 @@ go test -race -count=1 ./internal/obs/
 go test -count=1 -run 'TestMetricsZeroAllocDisabledGet|TestWritePathZeroAlloc' ./internal/core/ ./internal/bench/
 go test -race -count=1 -run 'TestMetrics|TestStatsMetricsRace' ./internal/core/
 go test -race -count=1 -run 'RunObsSmoke|LiveSnapshot' ./internal/bench/
+
+# Network service layer: the wire codec suite plus a short fuzz smoke
+# over the frame/request/response decoders (hostile lengths, counts and
+# truncations must error, never panic or over-allocate); the server's
+# pipelining/coalescing/shutdown-drain suite; the client package
+# end-to-end (including the 8-client durability battery and ScanAll
+# paging); the daemon's process-level battery (SIGTERM clean flag,
+# SIGKILL mid-traffic zero acked-write loss); hartkv's close-on-signal
+# tests; and the wire soak harness at toy scale — all under the race
+# detector. scripts/benchdiff.sh gates BENCH_wire.json.
+go test -race -count=1 ./internal/wire/ ./internal/server/ ./client/
+go test -run='^$' -fuzz=FuzzWireDecode -fuzztime=10s ./internal/wire/
+go test -race -count=1 ./cmd/hartd/ ./cmd/hartkv/
+go test -race -count=1 -run 'RunWireSmoke|ActiveCloser' ./internal/bench/
